@@ -1,0 +1,86 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not paper figures — these isolate PUSHtap's mechanisms one at a time:
+block-circulant placement, the bin-packer's leftover policy, the th
+threshold's end-to-end effect, and the normal-column CPU fallback.
+"""
+
+from repro.experiments import ablations
+from repro.report import format_percent, format_table, format_time_ns
+
+
+def test_circulant_placement_ablation(benchmark, emit):
+    points = benchmark.pedantic(ablations.circulant_ablation, rounds=1, iterations=1)
+    by_flag = {p.circulant: p for p in points}
+    emit(
+        "Ablation — block-circulant placement (Fig. 5a vs 5b)",
+        format_table(
+            ["placement", "PIM units used", "scan time", "matches"],
+            [
+                [
+                    "circulant" if p.circulant else "naive (pinned)",
+                    p.units_used,
+                    format_time_ns(p.scan_time),
+                    p.matches,
+                ]
+                for p in points
+            ],
+        ),
+    )
+    # Same answers, far better parallelism with rotation.
+    assert by_flag[True].matches == by_flag[False].matches
+    assert by_flag[True].units_used > by_flag[False].units_used
+    assert by_flag[True].scan_time < by_flag[False].scan_time / 2
+
+
+def test_leftover_policy_ablation(benchmark, emit):
+    points = benchmark(ablations.leftover_policy_ablation)
+    by_policy = {p.policy: p for p in points}
+    emit(
+        "Ablation — bin-packer leftover policy at th=0.6",
+        format_table(
+            ["policy", "padding", "PIM eff bw", "relaxed keys"],
+            [
+                [
+                    p.policy,
+                    format_percent(p.padding_fraction),
+                    format_percent(p.pim_bandwidth),
+                    p.relaxed_keys,
+                ]
+                for p in points
+            ],
+        ),
+    )
+    # The trade-off: absorb stores less but forfeits PIM efficiency.
+    assert by_policy["absorb"].padding_fraction < by_policy["pad"].padding_fraction
+    assert by_policy["absorb"].pim_bandwidth <= by_policy["pad"].pim_bandwidth
+
+
+def test_th_end_to_end_latency(benchmark, emit):
+    points = benchmark.pedantic(ablations.th_latency_ablation, rounds=1, iterations=1)
+    emit(
+        "Ablation — th threshold surfacing in measured Q6 latency",
+        format_table(
+            ["th", "Q6 time", "revenue"],
+            [[p.th, format_time_ns(p.q6_time), p.revenue] for p in points],
+        ),
+    )
+    # Identical answers under every layout.
+    assert len({p.revenue for p in points}) == 1
+    # Higher th -> more PIM-efficient layout -> faster scans.
+    assert points[-1].q6_time <= points[0].q6_time
+
+
+def test_key_column_fallback(benchmark, emit):
+    points = benchmark(ablations.key_column_fallback_ablation)
+    emit(
+        "Ablation — key-column PIM scan vs normal-column CPU fallback "
+        "(60M-row ORDERLINE column at paper scale)",
+        format_table(
+            ["path", "scan time"],
+            [[p.path, format_time_ns(p.scan_time)] for p in points],
+        ),
+    )
+    pim, cpu = points[0].scan_time, points[1].scan_time
+    # §4.1.2: the fallback works, with a substantial performance loss.
+    assert cpu > 5 * pim

@@ -1,0 +1,53 @@
+"""Figure 10 — OLTP/OLAP throughput frontier + the headline ratios.
+
+Paper anchors: PUSHtap's OLAP plateau (38.0 k QphH in the paper's
+absolute units) holds until 51.2 MtpmC; PUSHtap reaches 3.4× MI's peak
+OLTP throughput; at MI's peak, PUSHtap sustains 4.4× the OLAP
+throughput.
+"""
+
+from repro.experiments import fig10
+from repro.report import format_table
+
+
+def test_fig10_frontier(benchmark, emit):
+    model = fig10.FrontierModel(config=None) if False else None
+    pushtap = benchmark(fig10.frontier, "pushtap", 12)
+    mi = fig10.frontier("mi", 12)
+    emit(
+        "Fig 10 — throughput frontier (PUSHtap vs MI)",
+        format_table(
+            ["system", "OLTP (MtpmC)", "OLAP (QphH)"],
+            [
+                [p.system, f"{p.oltp_tpmc / 1e6:.1f}", f"{p.olap_qphh:,.0f}"]
+                for p in pushtap + mi
+            ],
+        ),
+    )
+    assert pushtap[-1].oltp_tpmc > 2.5 * mi[-1].oltp_tpmc
+    # The plateau: OLAP constant at low OLTP rates.
+    assert pushtap[0].olap_qphh == pushtap[1].olap_qphh
+
+
+def test_headline_ratios(benchmark, emit):
+    ratios = benchmark(fig10.peak_ratios)
+    emit(
+        "Headline (§7.3.3) — paper: 3.4x peak OLTP, 4.4x OLAP at MI peak, "
+        "knee at 51.2 MtpmC",
+        format_table(
+            ["metric", "measured", "paper"],
+            [
+                ["peak OLTP ratio (PUSHtap/MI)", f"{ratios['peak_oltp_ratio']:.2f}x", "3.4x"],
+                ["OLAP ratio at MI peak", f"{ratios['olap_ratio_at_mi_peak']:.2f}x", "4.4x"],
+                ["PUSHtap knee (MtpmC)", f"{ratios['pushtap_knee_tpmc'] / 1e6:.1f}", "51.2"],
+                ["MI peak (MtpmC)", f"{ratios['mi_peak_tpmc'] / 1e6:.1f}", "76.3"],
+                [
+                    "PUSHtap flat OLAP (QphH)",
+                    f"{ratios['pushtap_flat_olap_qphh']:,.0f}",
+                    "38.0k (absolute scale differs)",
+                ],
+            ],
+        ),
+    )
+    assert 2.5 < ratios["peak_oltp_ratio"] < 4.5
+    assert ratios["olap_ratio_at_mi_peak"] > 2.0

@@ -1,0 +1,58 @@
+"""Figure 11a/11b — defragmentation necessity and overhead.
+
+Paper anchors: defragmentation costs OLTP < 1.5 %; fragmentation
+overtakes defragmentation beyond ~10k transactions (2.05× at the
+chosen period).
+"""
+
+from repro.experiments import fig11
+from repro.report import format_percent, format_table, format_time_ns
+
+
+def test_fig11a_oltp_overhead(benchmark, emit):
+    points = benchmark(
+        fig11.oltp_defrag_overhead, txn_counts=(200, 400), defrag_period=200
+    )
+    emit(
+        "Fig 11a — OLTP time w/w.o. defragmentation (paper: <1.5% overhead; "
+        "the fixed cost amortizes with the period)",
+        format_table(
+            ["txns", "OLTP w/ defrag", "OLTP w/o", "defrag time", "overhead"],
+            [
+                [
+                    p.num_txns,
+                    format_time_ns(p.oltp_time_with_defrag),
+                    format_time_ns(p.oltp_time_without_defrag),
+                    format_time_ns(p.defrag_time),
+                    format_percent(p.defrag_overhead),
+                ]
+                for p in points
+            ],
+        ),
+    )
+    assert all(p.defrag_overhead < 0.05 for p in points)
+
+
+def test_fig11b_fragmentation_vs_defrag(benchmark, emit):
+    points = benchmark(fig11.fragmentation_vs_defrag)
+    emit(
+        "Fig 11b — fragmentation penalty vs defragmentation cost per window "
+        "(paper: crossover ~10k txns, ratio 2.05x)",
+        format_table(
+            ["txns in window", "fragmentation", "defragmentation", "frag/defrag"],
+            [
+                [
+                    f"{p.num_txns:,}",
+                    format_time_ns(p.fragmentation_overhead),
+                    format_time_ns(p.defrag_overhead),
+                    f"{p.ratio:.2f}x",
+                ]
+                for p in points
+            ],
+        ),
+    )
+    # Fragmentation grows linearly while defragmentation amortizes: the
+    # ratio crosses 1 in the paper's 10k neighbourhood.
+    assert points[0].ratio < 1.0
+    crossing = [p for p in points if p.ratio >= 1.0]
+    assert crossing and crossing[0].num_txns <= 30_000

@@ -1,0 +1,52 @@
+"""Figure 12a — defragmentation strategy comparison (CPU / PIM / hybrid).
+
+Paper anchor: with part row widths spanning 2 B to 20+ B, neither pure
+strategy is optimal everywhere; the hybrid (Eq. 3 per part) achieves the
+best efficiency.
+"""
+
+from repro.experiments import fig12
+from repro.report import format_table, format_time_ns
+
+
+def test_fig12a_strategy_comparison(benchmark, emit):
+    points = benchmark(fig12.defrag_strategy_comparison)
+    by_strategy = {p.strategy: p for p in points}
+    emit(
+        "Fig 12a — defragmentation time by strategy (paper: hybrid best; "
+        "pure CPU loses on wide parts, pure PIM on narrow parts)",
+        format_table(
+            ["strategy", "total time"],
+            [[p.strategy, format_time_ns(p.total_time)] for p in points],
+        ),
+    )
+    hybrid = by_strategy["hybrid"].total_time
+    assert hybrid <= by_strategy["cpu"].total_time + 1e-6
+    assert hybrid <= by_strategy["pim"].total_time + 1e-6
+    # Neither pure strategy dominates per part.
+    cpu, pim = by_strategy["cpu"].per_part, by_strategy["pim"].per_part
+    assert any(cpu[i] < pim[i] for i in cpu)
+    assert any(pim[i] < cpu[i] for i in cpu)
+
+
+def test_fig12a_functional_hybrid(benchmark, emit, bench_engine):
+    """The engine's own defragmentation uses the hybrid plan end-to-end."""
+    engine = bench_engine
+    engine.run_transactions(50, engine.make_driver(seed=31))
+    results = benchmark.pedantic(engine.defragment, rounds=1, iterations=1)
+    plans = {
+        name: sorted(set(r.part_strategies.values()))
+        for name, r in results.items()
+        if r.moved_rows
+    }
+    emit(
+        "Fig 12a detail — per-table hybrid plans chosen by the engine",
+        format_table(
+            ["table", "strategies used", "rows moved"],
+            [
+                [name, ",".join(plans[name]), results[name].moved_rows]
+                for name in plans
+            ],
+        ),
+    )
+    assert plans

@@ -1,0 +1,64 @@
+"""Figure 12b — Q6 execution time vs WRAM size, original PIM vs PUSHtap.
+
+Paper anchors: the original architecture speeds up 6.4× from 16 kB to
+256 kB WRAM as mode-switch overhead drops 88.8 % → 35.3 %; PUSHtap's
+controller extension keeps overhead ~7 % and is 3.0× faster at the
+default 64 kB.
+"""
+
+from repro.experiments import fig12
+from repro.report import format_percent, format_table, format_time_ns
+from repro.units import KIB
+
+
+def test_fig12b_wram_sweep(benchmark, emit):
+    points = benchmark(fig12.wram_size_sweep)
+    emit(
+        "Fig 12b — Q6 time vs WRAM size (paper: original 6.4x gain 16->256kB, "
+        "88.8%->35.3% mode-switch share; PUSHtap ~7% share, 3.0x faster at 64kB)",
+        format_table(
+            ["controller", "WRAM", "Q6 time", "control share", "CPU blocked"],
+            [
+                [
+                    p.controller,
+                    f"{p.wram_bytes // 1024} kB",
+                    format_time_ns(p.q6_time),
+                    format_percent(p.control_fraction),
+                    format_time_ns(p.cpu_blocked_time),
+                ]
+                for p in points
+            ],
+        ),
+    )
+    by_key = {(p.controller, p.wram_bytes): p for p in points}
+    orig_gain = (
+        by_key[("original", 16 * KIB)].q6_time / by_key[("original", 256 * KIB)].q6_time
+    )
+    speedup = (
+        by_key[("original", 64 * KIB)].q6_time / by_key[("pushtap", 64 * KIB)].q6_time
+    )
+    assert 4 < orig_gain < 10  # paper: 6.4x
+    assert 2 < speedup < 5  # paper: 3.0x
+    assert by_key[("original", 16 * KIB)].control_fraction > 0.8  # paper: 88.8%
+    assert by_key[("original", 256 * KIB)].control_fraction < 0.6  # paper: 35.3%
+    assert by_key[("pushtap", 64 * KIB)].control_fraction < 0.15  # paper: ~7%
+
+
+def test_fig12b_load_phase_blocking(benchmark, emit):
+    """§6.2: the CPU is blocked only for the load phases under PUSHtap —
+    short enough for microsecond-level real-time OLTP."""
+    points = benchmark(fig12.wram_size_sweep, wram_sizes=(64 * KIB,))
+    by_controller = {p.controller: p for p in points}
+    pushtap = by_controller["pushtap"]
+    original = by_controller["original"]
+    assert pushtap.cpu_blocked_time < original.cpu_blocked_time
+    emit(
+        "Fig 12b detail — CPU blocked time at 64 kB",
+        format_table(
+            ["controller", "blocked", "total"],
+            [
+                [p.controller, format_time_ns(p.cpu_blocked_time), format_time_ns(p.q6_time)]
+                for p in points
+            ],
+        ),
+    )

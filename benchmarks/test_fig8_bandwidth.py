@@ -1,0 +1,60 @@
+"""Figure 8a/8b + the §7.2 HTAPBench generality check.
+
+Paper anchors: th=0 → 74.8 % CPU / 51.9 % PIM; th=0.6 → 59.8 % CPU /
+97.4 % PIM; storage padding negligible with a 2.3 % bitmap overhead;
+HTAPBench at th=0.55 → 57 % CPU / 98 % PIM.
+"""
+
+from repro.experiments import fig8
+from repro.report import format_percent, format_table
+
+
+def test_fig8a_th_sweep(benchmark, emit):
+    points = benchmark(fig8.th_sweep)
+    emit(
+        "Fig 8a — CPU/PIM effective bandwidth vs th "
+        "(paper: 74.8%/51.9% at th=0 -> 59.8%/97.4% at th=0.6)",
+        format_table(
+            ["th", "CPU eff bw", "PIM eff bw", "parts"],
+            [
+                [p.th, format_percent(p.cpu_bandwidth), format_percent(p.pim_bandwidth), p.total_parts]
+                for p in points
+            ],
+        ),
+    )
+    first, last = points[0], points[-1]
+    assert first.cpu_bandwidth > last.cpu_bandwidth
+    assert last.pim_bandwidth > first.pim_bandwidth
+    chosen = [p for p in points if p.th == 0.6][0]
+    assert chosen.pim_bandwidth > 0.9
+
+
+def test_fig8b_storage_breakdown(benchmark, emit):
+    sb = benchmark(fig8.storage_breakdown_point, 0.6)
+    emit(
+        "Fig 8b — storage breakdown at th=0.6 (paper: negligible padding, 2.3% bitmap)",
+        format_table(
+            ["component", "bytes", "share"],
+            [
+                ["data", sb.data_bytes, format_percent(sb.data_bytes / sb.total_bytes)],
+                ["padding", sb.padding_bytes, format_percent(sb.padding_fraction)],
+                ["snapshot bitmap", sb.bitmap_bytes, format_percent(sb.bitmap_fraction)],
+            ],
+        ),
+    )
+    assert sb.bitmap_fraction < 0.05
+
+
+def test_htapbench_generality(benchmark, emit):
+    point = benchmark(fig8.htapbench_point, 0.55)
+    emit(
+        "§7.2 — HTAPBench generality at th=0.55 (paper: 57% CPU / 98% PIM)",
+        format_table(
+            ["metric", "measured", "paper"],
+            [
+                ["CPU eff bw", format_percent(point["cpu_bandwidth"]), "57%"],
+                ["PIM eff bw", format_percent(point["pim_bandwidth"]), "98%"],
+            ],
+        ),
+    )
+    assert point["pim_bandwidth"] > 0.85

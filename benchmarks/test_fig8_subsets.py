@@ -1,0 +1,37 @@
+"""Figure 8c/8d — bandwidth head-room vs OLAP query subset.
+
+Paper anchors: max CPU effective bandwidth falls 74.8 % → 26.7 % from
+Q1-1 to ALL; max PIM effective bandwidth falls 100 % → 54.7 %; for ALL,
+CPU never exceeds the 70 % constraint.
+"""
+
+from repro.experiments import fig8
+from repro.report import format_percent, format_table
+
+
+def test_fig8cd_subset_sweep(benchmark, emit):
+    points = benchmark(fig8.subset_sweep)
+    emit(
+        "Fig 8c/8d — max CPU (PIM) eff bw keeping the other side >= 70% "
+        "(paper: CPU 74.8%->26.7%, PIM 100%->54.7% from Q1-1 to ALL)",
+        format_table(
+            ["subset", "key cols", "max CPU (PIM>=70%)", "max PIM (CPU>=70%)", "CPU>=70% feasible"],
+            [
+                [
+                    p.subset,
+                    p.num_key_columns,
+                    format_percent(p.max_cpu_with_pim_constraint),
+                    format_percent(p.max_pim_with_cpu_constraint),
+                    p.pim_constraint_feasible,
+                ]
+                for p in points
+            ],
+        ),
+    )
+    assert points[0].num_key_columns == 4  # Q1-1 anchor
+    cpus = [p.max_cpu_with_pim_constraint for p in points]
+    assert cpus[0] == max(cpus)
+    assert points[-1].subset == "ALL"
+    assert cpus[-1] == min(cpus)
+    # Paper: for ALL, CPU effective bandwidth never exceeds 70 %.
+    assert not points[-1].pim_constraint_feasible

@@ -1,0 +1,44 @@
+"""Figure 9b — analytical query time breakdown vs transaction count.
+
+Paper anchors: at 1M txns MI pays 123.3 % rebuilding overhead while
+PUSHtap pays 1.5 %; at 8M MI is 13.3× slower than ideal while PUSHtap's
+overhead stays at 12.6 %; MI (HBM)'s accelerator cuts rebuild to 24.1 %.
+"""
+
+from repro.experiments import fig9
+from repro.report import format_percent, format_table, format_time_ns
+
+
+def test_fig9b_olap_breakdown(benchmark, emit):
+    points = benchmark(fig9.olap_comparison)
+    ideal = {p.num_txns: p.scan_time for p in points if p.system == "ideal"}
+    emit(
+        "Fig 9b — query time breakdown: consistency (rebuild / snapshot+defrag) + scan "
+        "(paper: MI +123.3% at 1M, 13.3x at 8M; PUSHtap 1.5% -> 12.6%)",
+        format_table(
+            ["system", "txns", "consistency", "scan", "total", "overhead vs ideal"],
+            [
+                [
+                    p.system,
+                    f"{p.num_txns:,}",
+                    format_time_ns(p.consistency_time),
+                    format_time_ns(p.scan_time),
+                    format_time_ns(p.total_time),
+                    format_percent(p.overhead_vs(ideal[p.num_txns])),
+                ]
+                for p in points
+            ],
+        ),
+    )
+    by_key = {(p.system, p.num_txns): p for p in points}
+    scan_1m = ideal[1_000_000]
+    # MI overhead at 1M in the paper's regime (order of 100 %).
+    assert 0.5 < by_key[("MI", 1_000_000)].overhead_vs(scan_1m) < 3.0
+    # PUSHtap stays small at 1M and moderate at 8M.
+    assert by_key[("PUSHtap", 1_000_000)].overhead_vs(scan_1m) < 0.10
+    assert by_key[("PUSHtap", 8_000_000)].overhead_vs(ideal[8_000_000]) < 0.30
+    # MI at 8M is many times slower than ideal.
+    assert by_key[("MI", 8_000_000)].total_time / ideal[8_000_000] > 5.0
+    # The accelerator-equipped MI (HBM) keeps rebuild moderate.
+    mi_hbm = by_key[("MI (HBM)", 8_000_000)]
+    assert mi_hbm.consistency_time / mi_hbm.scan_time < 0.6

@@ -1,0 +1,52 @@
+"""Figure 9a — OLTP execution time per data format.
+
+Paper anchors: CS needs +28.1 % over RS; PUSHtap's unified format only
++3.5 % (data re-layout); PUSHtap (HBM) within a few percent of DIMM.
+"""
+
+import pytest
+
+from repro.experiments import fig9
+from repro.report import format_table, format_time_ns
+
+
+@pytest.fixture(scope="module")
+def oltp_points():
+    return fig9.oltp_comparison(scale=5e-5, num_txns=200)
+
+
+def test_fig9a_format_comparison(benchmark, emit, oltp_points, bench_engine):
+    # Benchmark the underlying primitive: one transaction on the engine.
+    driver = bench_engine.make_driver(seed=23)
+    benchmark(lambda: bench_engine.execute_transaction(driver.next_transaction()))
+    emit(
+        "Fig 9a — transaction time by format (paper: RS 1.00x, CS 1.281x, "
+        "PUSHtap 1.035x, PUSHtap(HBM) ~0.975x of PUSHtap)",
+        format_table(
+            ["format", "mean txn time", "vs RS"],
+            [
+                [p.label, format_time_ns(p.mean_txn_time), f"{p.relative_to_rs:.3f}x"]
+                for p in oltp_points
+            ],
+        ),
+    )
+    by_label = {p.label: p for p in oltp_points}
+    assert 1.1 < by_label["CS"].relative_to_rs < 1.6
+    assert 1.0 < by_label["PUSHtap"].relative_to_rs < 1.12
+    assert by_label["PUSHtap (HBM)"].relative_to_rs < by_label["CS"].relative_to_rs
+
+
+def test_fig9a_relayout_is_the_overhead(benchmark, emit, oltp_points):
+    """PUSHtap's extra cost over RS is dominated by data re-layout."""
+    by_label = benchmark(lambda: {p.label: p for p in oltp_points})
+    rs = by_label["RS"].breakdown
+    pushtap = by_label["PUSHtap"].breakdown
+    assert rs["relayout"] == 0.0
+    assert pushtap["relayout"] > 0.0
+    emit(
+        "Fig 9a detail — PUSHtap per-txn breakdown deltas vs RS (ns)",
+        format_table(
+            ["phase", "RS", "PUSHtap"],
+            [[k, f"{rs[k]:.0f}", f"{pushtap[k]:.0f}"] for k in rs],
+        ),
+    )

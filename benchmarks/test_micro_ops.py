@@ -1,0 +1,90 @@
+"""Microbenchmarks of the core library primitives.
+
+Not a paper figure — these track the reproduction's own performance:
+row packing, transaction execution, snapshotting, filter scans, and
+launch-request encoding.
+"""
+
+import numpy as np
+
+from repro.format.binpack import compact_aligned_layout
+from repro.olap.operators import FilterOperation
+from repro.pim.pim_unit import Condition
+from repro.pim.requests import LaunchRequest, OpType, decode_launch
+from repro.workloads.chbench import all_queries, ch_table, key_columns_for
+
+
+def test_bench_pack_row(benchmark):
+    schema = ch_table("orderline")
+    layout = compact_aligned_layout(
+        schema, key_columns_for(all_queries(), "orderline"), 8, 0.6
+    )
+    row = {
+        "ol_o_id": 1, "ol_d_id": 2, "ol_w_id": 3, "ol_number": 4,
+        "ol_i_id": 5, "ol_supply_w_id": 6, "ol_delivery_d": 7,
+        "ol_quantity": 8, "ol_amount": 9, "ol_dist_info": b"x" * 24,
+    }
+    packed = benchmark(layout.pack_row, row)
+    assert layout.unpack_row(packed) == row
+
+
+def test_bench_layout_generation(benchmark):
+    schema = ch_table("customer")
+    keys = key_columns_for(all_queries(), "customer")
+    layout = benchmark(compact_aligned_layout, schema, keys, 8, 0.6)
+    assert layout.useful_bytes_per_row() == schema.row_bytes
+
+
+def test_bench_transaction(benchmark, bench_engine):
+    driver = bench_engine.make_driver(seed=41)
+    result = benchmark(
+        lambda: bench_engine.execute_transaction(driver.next_transaction())
+    )
+    assert result.total_time > 0
+
+
+def test_bench_snapshot_update(benchmark, bench_engine):
+    table = bench_engine.table("orderline")
+    mvcc = table.mvcc
+
+    def update_and_snapshot():
+        ts = bench_engine.db.oracle.next_timestamp()
+        mvcc.update(ts % 100, ts)
+        return table.snapshots.update_to(ts)
+
+    cost = benchmark(update_and_snapshot)
+    assert cost.records >= 1
+
+
+def test_bench_filter_scan(benchmark, bench_engine):
+    engine = bench_engine
+    table = engine.table("orderline")
+    ts = engine.db.oracle.read_timestamp()
+    table.snapshots.update_to(ts)
+    rows = table.region_rows()
+
+    def scan():
+        op = FilterOperation(
+            table.storage, engine.units, "ol_quantity", Condition("le", 5), rows
+        )
+        return engine.olap.executor.execute(op)
+
+    result = benchmark(scan)
+    assert result.phases >= 1
+
+
+def test_bench_query_q6(benchmark, bench_engine):
+    result = benchmark(bench_engine.query, "Q6")
+    assert "revenue" in result.rows
+
+
+def test_bench_request_codec(benchmark):
+    request = LaunchRequest(
+        OpType.LS, {"op0_addr": 0xABCDE, "op0_len": 4096, "op0_stride": 8}
+    )
+
+    def roundtrip():
+        return decode_launch(request.encode())
+
+    decoded = benchmark(roundtrip)
+    assert decoded.op == OpType.LS

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Defragmentation policy study (§5.3, §7.4).
+
+Shows the Eq. 1–3 cost model in action: the break-even row width, the
+CPU / PIM / hybrid strategy comparison on the real CH layouts, and the
+fragmentation-vs-defragmentation trade-off that picks the
+defragmentation period.
+"""
+
+from repro.core.config import dimm_system
+from repro.core.defrag import comm_cpu_time, comm_pim_time, pim_breakeven_width
+from repro.experiments import fig11, fig12
+from repro.mvcc.metadata import METADATA_BYTES
+from repro.report import format_table, format_time_ns
+
+
+def breakeven() -> None:
+    print("— Eq. 3: the CPU/PIM break-even row width —")
+    config = dimm_system()
+    bdw_cpu = config.total_cpu_bandwidth
+    bdw_pim = config.total_pim_bandwidth
+    p = 0.9
+    threshold = pim_breakeven_width(METADATA_BYTES, p, bdw_cpu, bdw_pim)
+    print(f"  m={METADATA_BYTES}B, p={p}, bdw_cpu={bdw_cpu:.0f}GB/s, "
+          f"bdw_pim={bdw_pim:.0f}GB/s  ->  w* = {threshold:.1f} B")
+    rows = []
+    for width in (2, 4, 8, 16, 32):
+        cpu = comm_cpu_time(METADATA_BYTES, 50_000, p, 8, width, bdw_cpu)
+        pim = comm_pim_time(METADATA_BYTES, 50_000, p, 8, width, bdw_cpu, bdw_pim)
+        winner = "PIM" if pim < cpu else "CPU"
+        rows.append([width, format_time_ns(cpu), format_time_ns(pim), winner])
+    print(format_table(["row width (B)", "Eq.1 CPU", "Eq.2 PIM", "winner"], rows))
+
+
+def strategies() -> None:
+    print("\n— Fig. 12a: strategy comparison on the real CH layouts —")
+    rows = []
+    for point in fig12.defrag_strategy_comparison():
+        rows.append([point.strategy, format_time_ns(point.total_time)])
+    print(format_table(["strategy", "defragmentation time"], rows))
+
+
+def period_selection() -> None:
+    print("\n— Fig. 11b: choosing the defragmentation period —")
+    rows = []
+    for point in fig11.fragmentation_vs_defrag():
+        rows.append(
+            [
+                f"{point.num_txns:,}",
+                format_time_ns(point.fragmentation_overhead),
+                format_time_ns(point.defrag_overhead),
+                f"{point.ratio:.2f}x",
+            ]
+        )
+    print(format_table(
+        ["txns between defrags", "fragmentation penalty", "defrag cost", "ratio"],
+        rows,
+    ))
+    print("  (the paper defragments every 10k transactions — roughly where\n"
+          "   the fragmentation penalty starts to dominate)")
+
+
+def main() -> None:
+    breakeven()
+    strategies()
+    period_selection()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` (PEP 660) needs `wheel`; this shim lets
+`python setup.py develop` work offline as a fallback.
+"""
+
+from setuptools import setup
+
+setup()

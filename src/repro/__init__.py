@@ -1,0 +1,22 @@
+"""PUSHtap reproduction: PIM-based in-memory HTAP with a unified data format.
+
+This package reproduces the system described in *PUSHtap: PIM-based
+In-Memory HTAP with Unified Data Storage Format* (ASPLOS 2025): a
+functional + timing simulation of a UPMEM-like PIM memory system, the
+unified compact-aligned data format, MVCC with bitmap snapshots and
+CPU/PIM/hybrid defragmentation, OLTP (TPC-C) and OLAP (TPC-H on CH)
+engines, and the paper's baselines and experiments.
+
+Quickstart::
+
+    from repro import PushTapEngine, dimm_system
+    from repro.workloads import chbench
+
+    engine = PushTapEngine.build(dimm_system(), scale=0.001)
+"""
+
+from repro.core.config import dimm_system, hbm_system, SystemConfig
+from repro.core.engine import PushTapEngine
+
+__all__ = ["PushTapEngine", "SystemConfig", "dimm_system", "hbm_system"]
+__version__ = "1.0.0"

@@ -1,0 +1,17 @@
+"""Baselines the paper compares against (§7.3): RS/CS formats, the
+multi-instance (MI) design, the ideal scan bound, the original PIM
+architecture, and the analytic PUSHtap model used for full-scale
+extrapolation."""
+
+from repro.baselines.ideal import IdealOLAPModel
+from repro.baselines.multi_instance import MultiInstanceModel, RebuildCost
+from repro.baselines.original_pim import wram_sweep
+from repro.baselines.pushtap_model import PushTapQueryModel
+
+__all__ = [
+    "IdealOLAPModel",
+    "MultiInstanceModel",
+    "RebuildCost",
+    "wram_sweep",
+    "PushTapQueryModel",
+]

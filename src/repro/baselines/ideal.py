@@ -1,0 +1,36 @@
+"""The *ideal* OLAP baseline (§7.3.2).
+
+Ideal assumes every scanned column is already perfectly compact in PIM
+memory: execution time is pure scanning (plus unavoidable two-phase
+control), with no consistency work — no snapshot, no rebuild, no
+defragmentation, no padding. It lower-bounds every real design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.core.config import SystemConfig
+from repro.olap.cost import ScanCost, column_scan_cost
+
+__all__ = ["IdealOLAPModel"]
+
+
+@dataclass(frozen=True)
+class IdealOLAPModel:
+    """Analytic ideal-scan cost for a set of (rows, width) columns."""
+
+    config: SystemConfig
+
+    def column_time(self, num_rows: int, width: int) -> ScanCost:
+        """Scan one compact column."""
+        return column_scan_cost(self.config, num_rows, width)
+
+    def query_time(self, columns: Sequence[Tuple[int, int]]) -> float:
+        """Serial scan time of a query's columns: ``(rows, width)`` pairs.
+
+        Multi-column queries scan columns serially with full PIM
+        parallelism per scan (§6.3).
+        """
+        return sum(self.column_time(rows, width).total_time for rows, width in columns)

@@ -1,0 +1,47 @@
+"""The original general-purpose PIM architecture baseline (§7.5).
+
+The original (unmodified UPMEM-like) architecture differs from PUSHtap
+only in communication overhead: every offload messages every PIM unit
+individually and the DRAM banks stay locked through compute phases. Both
+run the same two-phase execution (§6.2), so the comparison isolates the
+controller extension (Fig. 12b).
+
+Functionally this baseline is :class:`repro.pim.controller.OriginalController`
+(pass ``controller_kind="original"`` to :meth:`PushTapEngine.build`);
+analytically it is ``column_scan_cost(..., controller_kind="original")``.
+This module provides the sweep helper the Fig. 12b experiment uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.config import SystemConfig
+from repro.olap.cost import ScanCost, column_scan_cost
+
+__all__ = ["wram_sweep"]
+
+
+def wram_sweep(
+    config: SystemConfig,
+    num_rows: int,
+    column_width: int,
+    wram_sizes: Sequence[int],
+    controller_kind: str,
+) -> Dict[int, ScanCost]:
+    """Scan cost across WRAM sizes for one controller (Fig. 12b).
+
+    Larger WRAM means fewer load phases and hence fewer mode switches —
+    which matters enormously for the original architecture and barely for
+    PUSHtap.
+    """
+    return {
+        wram: column_scan_cost(
+            config,
+            num_rows,
+            column_width,
+            controller_kind=controller_kind,
+            wram_bytes=wram,
+        )
+        for wram in wram_sizes
+    }

@@ -1,0 +1,1 @@
+"""PUSHtap core: configuration, engine, snapshotting, defragmentation."""

@@ -1,0 +1,573 @@
+"""The PUSHtap engine: single-instance HTAP on a simulated PIM rank.
+
+:class:`PushTapEngine` assembles the whole stack of Fig. 2d / Fig. 7a:
+
+* one simulated PIM :class:`~repro.pim.memory.Rank` holding every table in
+  the unified compact-aligned format with block-circulant placement;
+* per-bank PIM units plus a memory controller (PUSHtap's scheduler +
+  polling module by default, or the original architecture for the
+  Fig. 12b comparison);
+* the OLTP engine (MVCC transactions over the same instance) and the OLAP
+  engine (snapshot-consistent PIM scans);
+* periodic defragmentation every ``defrag_period`` transactions (§7.4
+  chooses 10k at full scale — scaled runs pick proportionally smaller
+  periods).
+
+Build one with :meth:`PushTapEngine.build`; see ``examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import SystemConfig, dimm_system
+from repro.core.database import Database
+from repro.core.defrag import DefragExecutor, DefragResult, Strategy
+from repro.core.snapshot import SnapshotManager
+from repro.core.storage import RankAllocator, TableStorage
+from repro.core.table import TableRuntime
+from repro.errors import ConfigError
+from repro.format.binpack import compact_aligned_layout
+from repro.format.layout import UnifiedLayout
+from repro.format.schema import TableSchema
+from repro.mvcc.manager import MVCCManager
+from repro.mvcc.metadata import Region, RowRef
+from repro.olap.engine import OLAPEngine
+from repro.olap.queries import QueryResult, run_query
+from repro.oltp.engine import CostParams, OLTPEngine, TxnContext, TxnResult
+from repro.oltp.formats import UnifiedFormatModel
+from repro.oltp.index import HashIndex
+from repro.oltp.tpcc import INDEX_NAMES, TPCCDriver
+from repro.pim.controller import OriginalController, PushTapController, _ControllerBase
+from repro.pim.memory import Rank
+from repro.pim.pim_unit import PIMUnit
+from repro.units import KIB, ceil_div, round_up
+from repro.workloads.chbench import all_queries, ch_schema, key_columns_for, row_counts
+from repro.workloads.tpcc_gen import generate_table
+
+__all__ = ["PushTapEngine", "EngineStats"]
+
+#: Index keys matching the deterministic data generator's assignment.
+_INDEX_KEY_FNS: Dict[str, Callable[[Dict], Tuple[str, object]]] = {
+    "warehouse": lambda r: ("warehouse_pk", r["w_id"]),
+    "district": lambda r: ("district_pk", (r["d_w_id"], r["d_id"])),
+    "customer": lambda r: ("customer_pk", (r["c_w_id"], r["c_d_id"], r["c_id"])),
+    "item": lambda r: ("item_pk", r["i_id"]),
+    "stock": lambda r: ("stock_pk", (r["s_w_id"], r["s_i_id"])),
+    "order": lambda r: ("order_pk", r["o_id"]),
+    "neworder": lambda r: ("neworder_pk", r["no_o_id"]),
+    "orderline": lambda r: ("orderline_pk", (r["ol_o_id"], r["ol_number"])),
+}
+
+
+@dataclass
+class EngineStats:
+    """Aggregate counters of one engine instance."""
+
+    transactions: int = 0
+    queries: int = 0
+    defrag_runs: int = 0
+    oltp_time: float = 0.0
+    olap_time: float = 0.0
+    defrag_time: float = 0.0
+
+
+class PushTapEngine:
+    """Single-instance PIM-based HTAP engine (the paper's contribution)."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        rank: Rank,
+        db: Database,
+        layouts: Dict[str, UnifiedLayout],
+        controller: _ControllerBase,
+        units: Dict[Tuple[int, int], PIMUnit],
+        oltp: OLTPEngine,
+        olap: OLAPEngine,
+        defrag_period: int,
+    ) -> None:
+        self.config = config
+        self.rank = rank
+        self.db = db
+        self.layouts = layouts
+        self.controller = controller
+        self.units = units
+        self.oltp = oltp
+        self.olap = olap
+        self.defrag_period = defrag_period
+        #: All simulated ranks (build() extends these for ranks > 1).
+        self.ranks: List[Rank] = [rank]
+        self.rank_units: List[Dict[Tuple[int, int], PIMUnit]] = [units]
+        self.stats = EngineStats()
+        self._txns_since_defrag = 0
+        self._defrag_executors: Dict[str, DefragExecutor] = {
+            name: DefragExecutor(
+                runtime.storage,
+                runtime.mvcc,
+                runtime.snapshots,
+                bdw_cpu=config.total_cpu_bandwidth,
+                bdw_pim=config.total_pim_bandwidth,
+            )
+            for name, runtime in db.tables.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        config: Optional[SystemConfig] = None,
+        scale: float = 1e-4,
+        th: float = 0.6,
+        queries: Optional[Sequence[str]] = None,
+        tables: Optional[Sequence[str]] = None,
+        seed: int = 7,
+        controller_kind: str = "pushtap",
+        defrag_period: int = 1_000,
+        block_rows: int = 1024,
+        insert_headroom: float = 2.0,
+        extra_rows: int = 0,
+        updates_per_txn_estimate: int = 12,
+        circulant: bool = True,
+        ranks: int = 1,
+        cost: Optional[CostParams] = None,
+    ) -> "PushTapEngine":
+        """Build a loaded engine over the CH-benCHmark database.
+
+        ``scale`` scales the paper's row counts (§7.1); ``th`` is the
+        compact-aligned threshold (§4.1.2, the paper picks 0.6);
+        ``queries`` determines the key-column set (default: all 22);
+        ``extra_rows`` adds absolute insert capacity per table on top of
+        the multiplicative ``insert_headroom`` (long transaction streams
+        append many ORDERLINE/HISTORY rows); ``circulant=False`` disables
+        the block-circulant rotation (the Fig. 5a ablation baseline);
+        ``ranks`` simulates more than one PIM rank — the paper's third
+        access dimension (§1) — with tables assigned round-robin by
+        footprint, each scanned by its own rank's PIM units.
+        """
+        config = config or dimm_system()
+        query_set = list(queries) if queries is not None else all_queries()
+        schemas = ch_schema()
+        names = list(tables) if tables is not None else list(schemas)
+        counts = row_counts(scale)
+
+        layouts: Dict[str, UnifiedLayout] = {}
+        for name in names:
+            keys = key_columns_for(query_set, name)
+            layouts[name] = compact_aligned_layout(
+                schemas[name], keys, config.geometry.devices_per_rank, th
+            )
+
+        capacities = {
+            name: round_up(
+                max(int(counts[name] * insert_headroom), block_rows) + extra_rows, 8
+            )
+            for name in names
+        }
+        delta_rows = cls._delta_rows(
+            defrag_period, updates_per_txn_estimate, block_rows, config
+        )
+        engine = cls._assemble(
+            config=config,
+            schemas={n: schemas[n] for n in names},
+            layouts=layouts,
+            capacities=capacities,
+            initial_counts={n: counts[n] for n in names},
+            delta_rows=delta_rows,
+            block_rows=block_rows,
+            circulant=circulant,
+            ranks=ranks,
+            controller_kind=controller_kind,
+            defrag_period=defrag_period,
+            cost=cost,
+        )
+        for index_name in INDEX_NAMES:
+            engine.db.add_index(HashIndex(index_name))
+        cls._load_data(engine.db, names, counts, seed)
+        return engine
+
+    @classmethod
+    def build_custom(
+        cls,
+        schemas: Dict[str, "TableSchema"],
+        key_columns: Dict[str, Sequence[str]],
+        initial_rows: Dict[str, Sequence[Dict]],
+        config: Optional[SystemConfig] = None,
+        th: float = 0.6,
+        index_keys: Optional[Dict[str, Tuple[str, Callable[[Dict], object]]]] = None,
+        defrag_period: int = 1_000,
+        block_rows: int = 1024,
+        insert_headroom: float = 2.0,
+        extra_rows: int = 0,
+        updates_per_txn_estimate: int = 12,
+        circulant: bool = True,
+        ranks: int = 1,
+        controller_kind: str = "pushtap",
+        cost: Optional[CostParams] = None,
+    ) -> "PushTapEngine":
+        """Build an engine over *arbitrary* schemas (not CH-benCHmark).
+
+        ``schemas`` maps table name → :class:`TableSchema`;
+        ``key_columns`` lists each table's analytically scanned columns
+        (§4.1.2); ``initial_rows`` supplies the bulk-loaded rows;
+        ``index_keys`` optionally maps a table to ``(index_name, key_fn)``
+        to build a unique hash index over the loaded rows. TPC-C helpers
+        (:meth:`make_driver`, :meth:`run_transactions`) only apply to the
+        CH build — use :meth:`PushTapEngine.oltp` / :meth:`query` plumbing
+        directly, or the generic OLAP operators.
+        """
+        config = config or dimm_system()
+        names = list(schemas)
+        layouts = {
+            name: compact_aligned_layout(
+                schemas[name],
+                list(key_columns.get(name, ())),
+                config.geometry.devices_per_rank,
+                th,
+            )
+            for name in names
+        }
+        counts = {name: len(initial_rows.get(name, ())) for name in names}
+        capacities = {
+            name: round_up(
+                max(int(counts[name] * insert_headroom), block_rows) + extra_rows, 8
+            )
+            for name in names
+        }
+        delta_rows = cls._delta_rows(
+            defrag_period, updates_per_txn_estimate, block_rows, config
+        )
+        engine = cls._assemble(
+            config=config,
+            schemas=schemas,
+            layouts=layouts,
+            capacities=capacities,
+            initial_counts=counts,
+            delta_rows=delta_rows,
+            block_rows=block_rows,
+            circulant=circulant,
+            ranks=ranks,
+            controller_kind=controller_kind,
+            defrag_period=defrag_period,
+            cost=cost,
+        )
+        index_keys = index_keys or {}
+        for table_name, (index_name, _) in index_keys.items():
+            if table_name not in schemas:
+                raise ConfigError(f"index over unknown table {table_name!r}")
+            engine.db.add_index(HashIndex(index_name))
+        for name in names:
+            runtime = engine.db.table(name)
+            spec = index_keys.get(name)
+            for row_id, values in enumerate(initial_rows.get(name, ())):
+                runtime.storage.write_row(RowRef(Region.DATA, row_id), values)
+                if spec is not None:
+                    index_name, key_fn = spec
+                    engine.db.index(index_name).insert(key_fn(values), row_id)
+        return engine
+
+    @classmethod
+    def _assemble(
+        cls,
+        config: SystemConfig,
+        schemas: Dict[str, "TableSchema"],
+        layouts: Dict[str, UnifiedLayout],
+        capacities: Dict[str, int],
+        initial_counts: Dict[str, int],
+        delta_rows: int,
+        block_rows: int,
+        circulant: bool,
+        ranks: int,
+        controller_kind: str,
+        defrag_period: int,
+        cost: Optional[CostParams],
+    ) -> "PushTapEngine":
+        """Shared assembly: ranks, storage, MVCC, controllers, engines."""
+        names = list(schemas)
+        if ranks < 1:
+            raise ConfigError("ranks must be >= 1")
+        assignment = cls._assign_ranks(names, layouts, capacities, ranks)
+        rank_objects: List[Rank] = []
+        allocators: List[RankAllocator] = []
+        rank_units: List[Dict[Tuple[int, int], PIMUnit]] = []
+        for rank_index in range(ranks):
+            members = [n for n in names if assignment[n] == rank_index]
+            device_bytes = cls._device_bytes(
+                {n: layouts[n] for n in members} or layouts,
+                capacities,
+                delta_rows,
+                block_rows,
+                config,
+            )
+            rank_obj = Rank(config.geometry, device_bytes)
+            rank_objects.append(rank_obj)
+            allocators.append(RankAllocator(rank_obj))
+            rank_units.append(cls._build_units(config, rank_obj))
+
+        db = Database()
+        for name in names:
+            rank_index = assignment[name]
+            rank_obj = rank_objects[rank_index]
+            storage = TableStorage(
+                rank_obj,
+                allocators[rank_index],
+                layouts[name],
+                capacities[name],
+                delta_rows,
+                block_rows,
+                circulant=circulant,
+            )
+            mvcc = MVCCManager(
+                initial_rows=initial_counts[name],
+                capacity_rows=capacities[name],
+                block_rows=block_rows,
+                num_devices=rank_obj.num_devices,
+                delta_capacity_blocks=ceil_div(delta_rows, block_rows),
+            )
+            runtime = TableRuntime(
+                name,
+                schemas[name],
+                layouts[name],
+                storage,
+                mvcc,
+                SnapshotManager(storage, mvcc),
+                units=rank_units[rank_index],
+                rank_index=rank_index,
+            )
+            db.add_table(runtime)
+
+        all_units = [u for units in rank_units for u in units.values()]
+        controller = cls._build_controller_from_list(
+            config, all_units, controller_kind
+        )
+        oltp = OLTPEngine(
+            db,
+            UnifiedFormatModel(layouts, config.geometry),
+            config,
+            cost or CostParams(),
+        )
+        olap = OLAPEngine(config, controller, rank_units[0])
+        engine = cls(
+            config,
+            rank_objects[0],
+            db,
+            layouts,
+            controller,
+            rank_units[0],
+            oltp,
+            olap,
+            defrag_period,
+        )
+        engine.ranks = rank_objects
+        engine.rank_units = rank_units
+        return engine
+
+    @staticmethod
+    def _assign_ranks(
+        names: Sequence[str],
+        layouts: Dict[str, UnifiedLayout],
+        capacities: Dict[str, int],
+        ranks: int,
+    ) -> Dict[str, int]:
+        """Balance tables over ranks: biggest footprint first, onto the
+        currently lightest rank."""
+        loads = [0] * ranks
+        assignment: Dict[str, int] = {}
+        by_size = sorted(
+            names,
+            key=lambda n: layouts[n].bytes_per_row() * capacities[n],
+            reverse=True,
+        )
+        for name in by_size:
+            target = loads.index(min(loads))
+            assignment[name] = target
+            loads[target] += layouts[name].bytes_per_row() * capacities[name]
+        return assignment
+
+    @staticmethod
+    def _delta_rows(
+        defrag_period: int, updates_per_txn: int, block_rows: int, config: SystemConfig
+    ) -> int:
+        d = config.geometry.devices_per_rank
+        # Delta blocks materialize round-robin over rotations, but a small
+        # table's updates all carry few rotations — in the worst case only
+        # 1/d of materialized blocks are usable, hence the ×d headroom.
+        expected = max(defrag_period, 1_000) * updates_per_txn * d
+        blocks = max(2 * d, ceil_div(expected, block_rows) + d)
+        return blocks * block_rows
+
+    @staticmethod
+    def _device_bytes(
+        layouts: Dict[str, UnifiedLayout],
+        capacities: Dict[str, int],
+        delta_rows: int,
+        block_rows: int,
+        config: SystemConfig,
+    ) -> int:
+        total = 0
+        for name, layout in layouts.items():
+            data_blocks = ceil_div(max(capacities[name], 1), block_rows)
+            delta_blocks = ceil_div(max(delta_rows, 1), block_rows)
+            for part in layout.parts:
+                block_bytes = block_rows * part.row_width
+                total += (data_blocks + delta_blocks) * block_bytes
+            total += 2 * (max(capacities[name], delta_rows) // 8 + block_rows)
+        banks = config.geometry.banks_per_device
+        padded = int(total * 1.4) + 512 * KIB
+        return round_up(padded, banks * 8 * block_rows)
+
+    @staticmethod
+    def _load_data(
+        db: Database, names: Sequence[str], counts: Dict[str, int], seed: int
+    ) -> None:
+        for name in names:
+            runtime = db.table(name)
+            key_fn = _INDEX_KEY_FNS.get(name)
+            for row_id, values in enumerate(generate_table(name, counts, seed)):
+                runtime.storage.write_row(RowRef(Region.DATA, row_id), values)
+                if key_fn is not None:
+                    index_name, key = key_fn(values)
+                    db.index(index_name).insert(key, row_id)
+
+    @staticmethod
+    def _build_units(
+        config: SystemConfig, rank: Rank
+    ) -> Dict[Tuple[int, int], PIMUnit]:
+        units: Dict[Tuple[int, int], PIMUnit] = {}
+        unit_id = 0
+        for device in rank.devices:
+            for bank in device.banks:
+                units[(device.index, bank.index)] = PIMUnit(
+                    unit_id, bank, config.pim, config.timings, config.geometry
+                )
+                unit_id += 1
+        return units
+
+    @staticmethod
+    def _build_controller(
+        config: SystemConfig,
+        units: Dict[Tuple[int, int], PIMUnit],
+        kind: str,
+    ) -> _ControllerBase:
+        ordered = [units[k] for k in sorted(units)]
+        return PushTapEngine._build_controller_from_list(config, ordered, kind)
+
+    @staticmethod
+    def _build_controller_from_list(
+        config: SystemConfig, units: List[PIMUnit], kind: str
+    ) -> _ControllerBase:
+        if kind == "pushtap":
+            return PushTapController(config, units)
+        if kind == "original":
+            return OriginalController(config, units)
+        raise ConfigError(f"unknown controller kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    # OLTP path
+    # ------------------------------------------------------------------
+    def execute_transaction(self, txn: Callable[[TxnContext], None]) -> TxnResult:
+        """Run one transaction; defragments when the period elapses or a
+        delta region nears capacity."""
+        if self._defrag_due():
+            self.defragment()
+        result = self.oltp.execute(txn)
+        self.stats.transactions += 1
+        self.stats.oltp_time += result.total_time
+        self._txns_since_defrag += 1
+        return result
+
+    def run_transactions(
+        self, count: int, driver: Optional[TPCCDriver] = None
+    ) -> List[TxnResult]:
+        """Run ``count`` transactions from a driver (created if omitted)."""
+        driver = driver or self.make_driver()
+        return [
+            self.execute_transaction(driver.next_transaction()) for _ in range(count)
+        ]
+
+    def make_driver(self, seed: int = 11, payment_fraction: float = 0.5) -> TPCCDriver:
+        """Create a TPC-C parameter driver consistent with the loaded data."""
+        counts = {name: t.num_rows for name, t in self.db.tables.items()}
+        return TPCCDriver(counts, seed=seed, payment_fraction=payment_fraction)
+
+    def _defrag_due(self) -> bool:
+        if self.defrag_period and self._txns_since_defrag >= self.defrag_period:
+            return True
+        for runtime in self.db.tables.values():
+            delta = runtime.mvcc.delta
+            if delta.high_water_rows >= 0.8 * delta.capacity_rows:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Defragmentation
+    # ------------------------------------------------------------------
+    def defragment(self, strategy: str = Strategy.HYBRID) -> Dict[str, DefragResult]:
+        """Defragment every table (OLTP paused, §5.3)."""
+        ts = self.db.oracle.read_timestamp()
+        results: Dict[str, DefragResult] = {}
+        first = True
+        for name, executor in self._defrag_executors.items():
+            runtime = self.db.table(name)
+            results[name] = executor.run(
+                ts,
+                strategy,
+                tombstoned=runtime.mvcc.tombstoned_rows(),
+                include_fixed=first,
+            )
+            first = False
+            self.stats.defrag_time += results[name].total_time
+        self.stats.defrag_runs += 1
+        self._txns_since_defrag = 0
+        return results
+
+    # ------------------------------------------------------------------
+    # OLAP path
+    # ------------------------------------------------------------------
+    def query(self, name: str) -> QueryResult:
+        """Run an analytical query at the current read timestamp."""
+        ts = self.db.oracle.read_timestamp()
+        result = run_query(name, self.olap, self.db, ts)
+        self.stats.queries += 1
+        self.stats.olap_time += result.total_time
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> TableRuntime:
+        """Access one table's runtime."""
+        return self.db.table(name)
+
+    @property
+    def num_units(self) -> int:
+        """PIM units across all simulated ranks."""
+        return sum(len(units) for units in self.rank_units)
+
+    def report(self) -> Dict[str, object]:
+        """Summary of the engine's state and accumulated work."""
+        return {
+            "config": self.config.name,
+            "ranks": len(self.ranks),
+            "pim_units": self.num_units,
+            "tables": {
+                name: {
+                    "rows": t.num_rows,
+                    "rank": t.rank_index,
+                    "parts": t.layout.num_parts,
+                    "delta_high_water": t.mvcc.delta.high_water_rows,
+                    "stale_versions": t.mvcc.stale_version_count(),
+                }
+                for name, t in self.db.tables.items()
+            },
+            "transactions": self.stats.transactions,
+            "queries": self.stats.queries,
+            "defrag_runs": self.stats.defrag_runs,
+            "mean_txn_time_ns": self.oltp.mean_txn_time,
+            "oltp_time_ns": self.stats.oltp_time,
+            "olap_time_ns": self.stats.olap_time,
+            "defrag_time_ns": self.stats.defrag_time,
+        }

@@ -1,0 +1,342 @@
+"""Physical table storage: layouts bound to devices (§4, §5.1, Fig. 6a).
+
+:class:`TableStorage` places one table's unified-format parts into the
+devices of a :class:`~repro.pim.memory.Rank`:
+
+* every part gets per-device regions for its **data** and **delta** rows,
+  allocated block-by-block so no block straddles a bank boundary (a PIM
+  unit must reach its whole block bank-locally);
+* all devices allocate in lockstep, so a row's slots live at the *same
+  local address* on every device — the ADE alignment the CPU's interleaved
+  access needs;
+* the block-circulant placement decides *which* device holds *which* slot
+  of each row (§4.2);
+* per-device copies of the snapshot bitmaps (data + delta region) occupy a
+  dedicated, ADE-aligned region (§5.2, Fig. 6a).
+
+The same class serves both functional byte movement (``write_row`` /
+``read_row``) and scan planning for the OLAP operators
+(:meth:`TableStorage.column_scan_plan`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+from repro.errors import LayoutError, MemoryError_
+from repro.format.circulant import BlockCirculantPlacement
+from repro.format.layout import UnifiedLayout
+from repro.format.schema import Value
+from repro.mvcc.metadata import Region, RowRef
+from repro.pim.memory import Rank
+from repro.units import ceil_div
+
+__all__ = ["RankAllocator", "BlockScan", "TableStorage"]
+
+
+class RankAllocator:
+    """Lockstep allocator for per-device regions of a rank.
+
+    All devices have identical layouts, so a single cursor serves the
+    whole rank. :meth:`alloc_block` guarantees the returned range stays
+    within one bank (advancing to the next bank when needed).
+    """
+
+    def __init__(self, rank: Rank) -> None:
+        self.rank = rank
+        self.bank_size = rank.devices[0].bank_size
+        self.device_size = rank.devices[0].size
+        self._cursor = 0
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes allocated so far (per device)."""
+        return self._cursor
+
+    def alloc_block(self, nbytes: int, align: int = 8) -> int:
+        """Allocate ``nbytes`` that must not straddle a bank boundary."""
+        if nbytes <= 0:
+            raise MemoryError_(f"allocation size must be positive, got {nbytes}")
+        if nbytes > self.bank_size:
+            raise MemoryError_(
+                f"block of {nbytes} B exceeds bank size {self.bank_size} B"
+            )
+        cursor = ceil_div(self._cursor, align) * align
+        if cursor // self.bank_size != (cursor + nbytes - 1) // self.bank_size:
+            cursor = (cursor // self.bank_size + 1) * self.bank_size
+        if cursor + nbytes > self.device_size:
+            raise MemoryError_(
+                f"device memory exhausted: need {nbytes} B at {cursor}, "
+                f"device size {self.device_size} B"
+            )
+        self._cursor = cursor + nbytes
+        return cursor
+
+
+@dataclass(frozen=True)
+class BlockScan:
+    """One block's worth of column-scan work for one PIM unit.
+
+    ``device`` identifies the unit (via its bank); ``dram_addr`` is the
+    bank-local address of the first row's column bytes; rows advance by
+    ``stride`` (the part row width) and each row contributes ``chunk``
+    useful bytes.
+    """
+
+    block: int
+    base_row: int
+    num_rows: int
+    device: int
+    bank: int
+    dram_addr: int
+    stride: int
+    chunk: int
+
+
+class TableStorage:
+    """One table's bytes, regions, and bitmaps inside a rank."""
+
+    def __init__(
+        self,
+        rank: Rank,
+        allocator: RankAllocator,
+        layout: UnifiedLayout,
+        capacity_rows: int,
+        delta_capacity_rows: int,
+        block_rows: int = 1024,
+        circulant: bool = True,
+    ) -> None:
+        if layout.num_devices != rank.num_devices:
+            raise LayoutError(
+                f"layout expects {layout.num_devices} devices, rank has "
+                f"{rank.num_devices}"
+            )
+        self.rank = rank
+        self.layout = layout
+        self.placement = BlockCirculantPlacement(
+            rank.num_devices, block_rows, enabled=circulant
+        )
+        self.block_rows = block_rows
+        self.capacity_rows = capacity_rows
+        self.delta_capacity_rows = delta_capacity_rows
+        data_blocks = ceil_div(max(capacity_rows, 1), block_rows)
+        delta_blocks = ceil_div(max(delta_capacity_rows, 1), block_rows)
+        # Per part: local base address of every data / delta block.
+        self._data_blocks: List[List[int]] = []
+        self._delta_blocks: List[List[int]] = []
+        for part in layout.parts:
+            block_bytes = block_rows * part.row_width
+            self._data_blocks.append(
+                [allocator.alloc_block(block_bytes) for _ in range(data_blocks)]
+            )
+            self._delta_blocks.append(
+                [allocator.alloc_block(block_bytes) for _ in range(delta_blocks)]
+            )
+        # Bitmap copies: one bit per region row, every device stores one.
+        self.data_bitmap_addr = allocator.alloc_block(
+            max(1, ceil_div(capacity_rows, 8)), align=self._bitmap_align()
+        )
+        self.delta_bitmap_addr = allocator.alloc_block(
+            max(1, ceil_div(delta_capacity_rows, 8)), align=self._bitmap_align()
+        )
+
+    def _bitmap_align(self) -> int:
+        # Blocks are block_rows bits = block_rows/8 bytes; aligning the
+        # bitmap base to that keeps per-block bitmap slices byte-aligned.
+        return max(8, self.block_rows // 8)
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def _region_blocks(self, region: str, part_index: int) -> List[int]:
+        return (
+            self._data_blocks[part_index]
+            if region == Region.DATA
+            else self._delta_blocks[part_index]
+        )
+
+    def _region_capacity(self, region: str) -> int:
+        return self.capacity_rows if region == Region.DATA else self.delta_capacity_rows
+
+    def row_addr(self, region: str, part_index: int, row: int) -> int:
+        """Bank-local address of a row's slot bytes in one part.
+
+        Identical on every device — which device holds which slot is the
+        placement's business.
+        """
+        if row < 0 or row >= self._region_capacity(region):
+            raise MemoryError_(
+                f"{region} row {row} out of range [0, {self._region_capacity(region)})"
+            )
+        part = self.layout.parts[part_index]
+        block = row // self.block_rows
+        within = row % self.block_rows
+        return self._region_blocks(region, part_index)[block] + within * part.row_width
+
+    def device_of_slot(self, region: str, row: int, slot_index: int) -> int:
+        """Physical device holding ``slot_index`` of a row (circulant)."""
+        block = row // self.block_rows
+        rotation = self.placement.rotation_of_block(block)
+        return (slot_index + rotation) % self.rank.num_devices
+
+    def rotation_of(self, region: str, row: int) -> int:
+        """Rotation of the row's block."""
+        return self.placement.rotation_of_block(row // self.block_rows)
+
+    # ------------------------------------------------------------------
+    # Row I/O (functional)
+    # ------------------------------------------------------------------
+    def write_row(self, ref: RowRef, values: Dict[str, Value]) -> None:
+        """Pack and store a full row at ``ref``."""
+        packed = self.layout.pack_row(values)
+        for part in self.layout.parts:
+            addr = self.row_addr(ref.region, part.index, ref.index)
+            for slot in part.slots:
+                device = self.device_of_slot(ref.region, ref.index, slot.slot_index)
+                self.rank.device_write(device, addr, packed[part.index][slot.slot_index])
+
+    def read_row(self, ref: RowRef) -> Dict[str, Value]:
+        """Read and unpack a full row from ``ref``."""
+        packed: List[List[np.ndarray]] = []
+        for part in self.layout.parts:
+            addr = self.row_addr(ref.region, part.index, ref.index)
+            slots: List[np.ndarray] = []
+            for slot in part.slots:
+                device = self.device_of_slot(ref.region, ref.index, slot.slot_index)
+                slots.append(self.rank.device_read(device, addr, part.row_width))
+            packed.append(slots)
+        return self.layout.unpack_row(packed)
+
+    def copy_row(self, src: RowRef, dst: RowRef) -> None:
+        """Copy a row's bytes between refs **of the same rotation**.
+
+        This is the device-local move defragmentation relies on: because
+        delta rows share their origin's rotation, each device copies its
+        own slot without inter-device traffic.
+        """
+        if self.rotation_of(src.region, src.index) != self.rotation_of(
+            dst.region, dst.index
+        ):
+            raise LayoutError(
+                "copy_row requires matching rotations (delta rows are "
+                "allocated rotation-aligned for this reason)"
+            )
+        for part in self.layout.parts:
+            src_addr = self.row_addr(src.region, part.index, src.index)
+            dst_addr = self.row_addr(dst.region, part.index, dst.index)
+            for device in range(self.rank.num_devices):
+                data = self.rank.device_read(device, src_addr, part.row_width)
+                self.rank.device_write(device, dst_addr, data)
+
+    # ------------------------------------------------------------------
+    # Snapshot bitmaps (functional, per-device copies)
+    # ------------------------------------------------------------------
+    def bitmap_addr(self, region: str) -> int:
+        """Local base address of a region's bitmap."""
+        return self.data_bitmap_addr if region == Region.DATA else self.delta_bitmap_addr
+
+    def write_bitmap(self, region: str, bitmap: np.ndarray) -> None:
+        """Store a full bitmap (packed little-endian bits) to all devices."""
+        base = self.bitmap_addr(region)
+        data = np.asarray(bitmap, dtype=np.uint8)
+        expected = max(1, ceil_div(self._region_capacity(region), 8))
+        if len(data) != expected:
+            raise LayoutError(f"bitmap must be {expected} bytes, got {len(data)}")
+        for device in range(self.rank.num_devices):
+            self.rank.device_write(device, base, data)
+
+    def read_bitmap(self, region: str, device: int = 0) -> np.ndarray:
+        """Read one device's bitmap copy."""
+        base = self.bitmap_addr(region)
+        nbytes = max(1, ceil_div(self._region_capacity(region), 8))
+        return self.rank.device_read(device, base, nbytes)
+
+    def set_bitmap_bit(self, region: str, row: int, value: bool) -> None:
+        """Flip one visibility bit on every device copy."""
+        if row < 0 or row >= self._region_capacity(region):
+            raise MemoryError_(f"{region} bitmap row {row} out of range")
+        addr = self.bitmap_addr(region) + row // 8
+        mask = 1 << (row % 8)
+        for device in range(self.rank.num_devices):
+            byte = int(self.rank.device_read(device, addr, 1)[0])
+            byte = (byte | mask) if value else (byte & ~mask)
+            self.rank.device_write(device, addr, np.array([byte], dtype=np.uint8))
+
+    def bitmap_block_slice_addr(self, region: str, block: int) -> int:
+        """Local address of the bitmap bytes covering one block's rows."""
+        return self.bitmap_addr(region) + block * (self.block_rows // 8)
+
+    def read_column_values(self, region: str, column: str, num_rows: int) -> List:
+        """Gather one column's decoded values for rows ``0..num_rows``.
+
+        Works for *any* column — including normal columns split across
+        parts — by assembling each row's byte runs. This is the CPU
+        fallback path of §4.1.2 (analytical queries on normal columns run
+        through the CPU at reduced efficiency); PIM scans use
+        :meth:`column_scan_plan` instead.
+        """
+        col = self.layout.schema.column(column)
+        runs = self.layout.column_runs(column)
+        values = []
+        for row in range(num_rows):
+            raw = bytearray(col.width)
+            for run in runs:
+                p = run.placement
+                addr = self.row_addr(region, run.part_index, row) + p.slot_offset
+                device = self.device_of_slot(region, row, run.slot_index)
+                raw[p.col_offset : p.col_offset + p.length] = self.rank.device_read(
+                    device, addr, p.length
+                ).tobytes()
+            values.append(col.decode(bytes(raw)))
+        return values
+
+    def cpu_scan_bytes(self, column: str, num_rows: int) -> int:
+        """CPU bus traffic to scan a column sequentially (§4.1.2 fallback).
+
+        The CPU must stream every part containing any byte of the column:
+        each touched part costs ``W × d`` bytes per row.
+        """
+        parts = {run.part_index for run in self.layout.column_runs(column)}
+        per_row = sum(
+            self.layout.parts[p].row_width * self.rank.num_devices for p in parts
+        )
+        return per_row * num_rows
+
+    # ------------------------------------------------------------------
+    # Scan planning (for the OLAP operators)
+    # ------------------------------------------------------------------
+    def column_scan_plan(
+        self, column: str, region: str, num_rows: int
+    ) -> Iterator[BlockScan]:
+        """Yield per-block scan work for a key column.
+
+        ``num_rows`` bounds the scan (data region: the table's live rows;
+        delta region: the materialized high-water mark).
+        """
+        run = self.layout.key_column_location(column)
+        part = self.layout.parts[run.part_index]
+        placement = run.placement
+        blocks = self._region_blocks(region, run.part_index)
+        bank_size = self.rank.devices[0].bank_size
+        remaining = num_rows
+        for block_index, block_base in enumerate(blocks):
+            if remaining <= 0:
+                break
+            rows = min(self.block_rows, remaining)
+            remaining -= rows
+            rotation = self.placement.rotation_of_block(block_index)
+            device = (run.slot_index + rotation) % self.rank.num_devices
+            addr = block_base + placement.slot_offset
+            yield BlockScan(
+                block=block_index,
+                base_row=block_index * self.block_rows,
+                num_rows=rows,
+                device=device,
+                bank=block_base // bank_size,
+                dram_addr=addr,
+                stride=part.row_width,
+                chunk=placement.length,
+            )

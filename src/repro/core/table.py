@@ -1,0 +1,94 @@
+"""Per-table runtime bundle: layout + storage + MVCC + snapshots.
+
+A :class:`TableRuntime` is the unit both engines operate on. OLTP reads
+and writes rows through MVCC refs; OLAP scans regions under the current
+snapshot. The bundle also exposes the row-count bookkeeping operators
+need (:meth:`TableRuntime.region_rows`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.core.snapshot import SnapshotManager
+from repro.core.storage import TableStorage
+from repro.errors import TransactionError
+from repro.format.layout import UnifiedLayout
+from repro.format.schema import TableSchema, Value
+from repro.mvcc.manager import MVCCManager
+from repro.mvcc.metadata import RowRef
+from repro.olap.operators import RegionRows
+
+__all__ = ["TableRuntime"]
+
+
+@dataclass
+class TableRuntime:
+    """Everything one table needs at runtime.
+
+    ``units`` are the PIM units of the rank holding this table (set by
+    the engine; None means "use the OLAP engine's default rank"), and
+    ``rank_index`` records which simulated rank that is.
+    """
+
+    name: str
+    schema: TableSchema
+    layout: UnifiedLayout
+    storage: TableStorage
+    mvcc: MVCCManager
+    snapshots: SnapshotManager
+    units: Optional[Dict] = None
+    rank_index: int = 0
+
+    @property
+    def num_rows(self) -> int:
+        """Live logical rows (including inserts)."""
+        return self.mvcc.num_rows
+
+    def region_rows(self) -> RegionRows:
+        """Row extents OLAP scans must cover."""
+        return RegionRows(
+            data_rows=self.mvcc.num_rows,
+            delta_rows=self.mvcc.delta.high_water_rows,
+        )
+
+    # ------------------------------------------------------------------
+    # Row access through MVCC
+    # ------------------------------------------------------------------
+    def read_row(self, row_id: int, ts: int) -> Dict[str, Value]:
+        """Read the version of ``row_id`` visible at ``ts``."""
+        return self.storage.read_row(self.mvcc.read(row_id, ts))
+
+    def update_row(self, row_id: int, ts: int, changes: Dict[str, Value]) -> RowRef:
+        """Install a new version of ``row_id`` with ``changes`` applied."""
+        current = self.storage.read_row(self.mvcc.newest_ref(row_id))
+        unknown = [c for c in changes if not self.schema.has_column(c)]
+        if unknown:
+            raise TransactionError(f"table {self.name!r} has no columns {unknown}")
+        current.update(changes)
+        ref = self.mvcc.update(row_id, ts)
+        self.storage.write_row(ref, current)
+        return ref
+
+    def insert_row(self, ts: int, values: Dict[str, Value]) -> int:
+        """Append a new row; returns its row id."""
+        row_id, ref = self.mvcc.insert(ts)
+        self.storage.write_row(ref, values)
+        return row_id
+
+    def load_rows(self, rows: Iterable[Dict[str, Value]]) -> int:
+        """Bulk-load initial rows into the data region (pre-MVCC).
+
+        Rows must already be accounted in the MVCC manager's
+        ``initial_rows``; this writes their bytes in order.
+        """
+        count = 0
+        for row_id, values in enumerate(rows):
+            self.storage.write_row(RowRef("data", row_id), values)
+            count += 1
+        if count > self.mvcc.num_rows:
+            raise TransactionError(
+                f"loaded {count} rows but table was sized for {self.mvcc.num_rows}"
+            )
+        return count

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the PUSHtap reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class. Subclasses are grouped by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A system configuration is inconsistent or out of supported range."""
+
+
+class LayoutError(ReproError):
+    """A data layout could not be generated or is used inconsistently."""
+
+
+class SchemaError(ReproError):
+    """A table schema is malformed (duplicate columns, bad widths, ...)."""
+
+
+class MemoryError_(ReproError):
+    """A simulated memory access is out of bounds or misaligned.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`MemoryError`.
+    """
+
+
+class ProtocolError(ReproError):
+    """A launch/poll request payload is malformed (Fig. 7b encoding)."""
+
+
+class TransactionError(ReproError):
+    """A transaction could not be executed (conflict, missing row, ...)."""
+
+
+class TransactionAborted(TransactionError):
+    """Raised when concurrency control aborts a transaction."""
+
+
+class QueryError(ReproError):
+    """An analytical query plan is malformed or references unknown data."""
+
+
+class SnapshotError(ReproError):
+    """Snapshot bitmaps are inconsistent with MVCC metadata."""
+
+
+class DefragError(ReproError):
+    """Defragmentation failed or was invoked in an invalid state."""

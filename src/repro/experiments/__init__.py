@@ -1,0 +1,10 @@
+"""Experiment modules — one per paper figure (§7).
+
+Each module computes the data series behind one figure; the benchmark
+suite (``benchmarks/``) runs them under pytest-benchmark and prints the
+paper-vs-measured rows recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments import common, fig8, fig9, fig10, fig11, fig12
+
+__all__ = ["common", "fig8", "fig9", "fig10", "fig11", "fig12"]

@@ -1,0 +1,196 @@
+"""Command-line experiment runner.
+
+Regenerate any of the paper's figures (or the ablations) directly::
+
+    python -m repro.experiments fig8a
+    python -m repro.experiments fig9b fig10
+    python -m repro.experiments all
+
+Each experiment prints the same rows/series its benchmark reports; see
+EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import ablations, fig8, fig9, fig10, fig11, fig12
+from repro.report import format_percent, format_table, format_time_ns
+
+
+def run_fig8a() -> None:
+    print(format_table(
+        ["th", "CPU eff bw", "PIM eff bw", "parts"],
+        [
+            [p.th, format_percent(p.cpu_bandwidth), format_percent(p.pim_bandwidth), p.total_parts]
+            for p in fig8.th_sweep()
+        ],
+    ))
+
+
+def run_fig8b() -> None:
+    sb = fig8.storage_breakdown_point(0.6)
+    print(format_table(
+        ["component", "share"],
+        [
+            ["data", format_percent(sb.data_bytes / sb.total_bytes)],
+            ["padding", format_percent(sb.padding_fraction)],
+            ["snapshot bitmap", format_percent(sb.bitmap_fraction)],
+        ],
+    ))
+
+
+def run_fig8cd() -> None:
+    print(format_table(
+        ["subset", "key cols", "max CPU (PIM>=70%)", "max PIM (CPU>=70%)"],
+        [
+            [
+                p.subset,
+                p.num_key_columns,
+                format_percent(p.max_cpu_with_pim_constraint),
+                format_percent(p.max_pim_with_cpu_constraint),
+            ]
+            for p in fig8.subset_sweep()
+        ],
+    ))
+
+
+def run_fig9a() -> None:
+    print(format_table(
+        ["format", "mean txn time", "vs RS"],
+        [
+            [p.label, format_time_ns(p.mean_txn_time), f"{p.relative_to_rs:.3f}x"]
+            for p in fig9.oltp_comparison()
+        ],
+    ))
+
+
+def run_fig9b() -> None:
+    points = fig9.olap_comparison()
+    ideal = {p.num_txns: p.scan_time for p in points if p.system == "ideal"}
+    print(format_table(
+        ["system", "txns", "consistency", "scan", "overhead vs ideal"],
+        [
+            [
+                p.system,
+                f"{p.num_txns:,}",
+                format_time_ns(p.consistency_time),
+                format_time_ns(p.scan_time),
+                format_percent(p.overhead_vs(ideal[p.num_txns])),
+            ]
+            for p in points
+        ],
+    ))
+
+
+def run_fig10() -> None:
+    for system in ("pushtap", "mi"):
+        print(format_table(
+            ["system", "OLTP (MtpmC)", "OLAP (QphH)"],
+            [
+                [p.system, f"{p.oltp_tpmc / 1e6:.1f}", f"{p.olap_qphh:,.0f}"]
+                for p in fig10.frontier(system, 12)
+            ],
+        ))
+    ratios = fig10.peak_ratios()
+    print(format_table(
+        ["metric", "value"],
+        [[k, f"{v:,.2f}"] for k, v in ratios.items()],
+    ))
+
+
+def run_fig11() -> None:
+    print(format_table(
+        ["txns in window", "fragmentation", "defragmentation", "ratio"],
+        [
+            [
+                f"{p.num_txns:,}",
+                format_time_ns(p.fragmentation_overhead),
+                format_time_ns(p.defrag_overhead),
+                f"{p.ratio:.2f}x",
+            ]
+            for p in fig11.fragmentation_vs_defrag()
+        ],
+    ))
+    print("\ntransaction breakdown:")
+    for phase, share in fig11.transaction_breakdown(num_txns=100).items():
+        print(f"  {phase:10s} {format_percent(share)}")
+
+
+def run_fig12a() -> None:
+    print(format_table(
+        ["strategy", "defragmentation time"],
+        [
+            [p.strategy, format_time_ns(p.total_time)]
+            for p in fig12.defrag_strategy_comparison()
+        ],
+    ))
+
+
+def run_fig12b() -> None:
+    print(format_table(
+        ["controller", "WRAM", "Q6 time", "control share"],
+        [
+            [
+                p.controller,
+                f"{p.wram_bytes // 1024} kB",
+                format_time_ns(p.q6_time),
+                format_percent(p.control_fraction),
+            ]
+            for p in fig12.wram_size_sweep()
+        ],
+    ))
+
+
+def run_ablations() -> None:
+    print(format_table(
+        ["policy", "padding", "PIM eff bw"],
+        [
+            [p.policy, format_percent(p.padding_fraction), format_percent(p.pim_bandwidth)]
+            for p in ablations.leftover_policy_ablation()
+        ],
+    ))
+    print(format_table(
+        ["path", "scan time"],
+        [[p.path, format_time_ns(p.scan_time)] for p in ablations.key_column_fallback_ablation()],
+    ))
+
+
+EXPERIMENTS: Dict[str, Callable[[], None]] = {
+    "fig8a": run_fig8a,
+    "fig8b": run_fig8b,
+    "fig8cd": run_fig8cd,
+    "fig9a": run_fig9a,
+    "fig9b": run_fig9b,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12a": run_fig12a,
+    "fig12b": run_fig12b,
+    "ablations": run_ablations,
+}
+
+
+def main(argv=None) -> int:
+    """Entry point: run the named experiments (or ``all``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which figures to regenerate",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    for name in names:
+        print(f"\n=== {name} ===")
+        EXPERIMENTS[name]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

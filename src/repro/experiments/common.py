@@ -1,0 +1,146 @@
+"""Shared helpers for the experiment modules (one module per figure).
+
+Database-wide effective bandwidths aggregate the per-table layout models
+of :mod:`repro.format.bandwidth`:
+
+* **CPU** — row accesses hit tables proportionally to their row counts,
+  so the database CPU effective bandwidth is the row-weighted ratio of
+  useful to transferred bytes;
+* **PIM** — scans hit key columns proportionally to their query scan
+  frequency × table size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.config import SystemConfig
+from repro.format.bandwidth import (
+    cpu_lines_per_row,
+    pim_column_efficiency,
+    storage_breakdown,
+    StorageBreakdown,
+)
+from repro.format.binpack import compact_aligned_layout
+from repro.format.layout import UnifiedLayout
+from repro.workloads.chbench import (
+    ch_schema,
+    column_scan_weights,
+    key_columns_for,
+    row_counts,
+)
+
+__all__ = [
+    "build_layouts",
+    "database_cpu_bandwidth",
+    "database_pim_bandwidth",
+    "database_storage",
+    "query_scan_columns",
+]
+
+
+def build_layouts(
+    th: float,
+    queries: Sequence[str],
+    config: SystemConfig,
+    tables: Sequence[str] = None,
+) -> Dict[str, UnifiedLayout]:
+    """Compact-aligned layouts of the CH tables for one (th, queries)."""
+    schemas = ch_schema()
+    names = list(tables) if tables is not None else list(schemas)
+    d = config.geometry.devices_per_rank
+    return {
+        name: compact_aligned_layout(
+            schemas[name], key_columns_for(queries, name), d, th
+        )
+        for name in names
+    }
+
+
+def database_cpu_bandwidth(
+    layouts: Mapping[str, UnifiedLayout],
+    config: SystemConfig,
+    weights: Mapping[str, int] = None,
+) -> float:
+    """Row-weighted CPU effective bandwidth over all tables."""
+    counts = weights if weights is not None else row_counts(1.0)
+    useful = 0.0
+    transferred = 0.0
+    line = config.geometry.cache_line_bytes
+    for name, layout in layouts.items():
+        rows = counts.get(name, 0)
+        useful += rows * layout.useful_bytes_per_row()
+        transferred += rows * cpu_lines_per_row(layout, config.geometry) * line
+    return useful / transferred if transferred else 0.0
+
+
+def database_pim_bandwidth(
+    layouts: Mapping[str, UnifiedLayout],
+    queries: Sequence[str],
+    weights: Mapping[str, int] = None,
+) -> float:
+    """Scan-weighted PIM effective bandwidth over all key columns."""
+    counts = weights if weights is not None else row_counts(1.0)
+    weighted = 0.0
+    total = 0.0
+    for name, layout in layouts.items():
+        rows = counts.get(name, 0)
+        if rows == 0:
+            continue
+        scan_weights = column_scan_weights(queries, name)
+        for column, weight in scan_weights.items():
+            if column not in layout.key_columns:
+                continue
+            w = weight * rows
+            weighted += w * pim_column_efficiency(layout, column)
+            total += w
+    return weighted / total if total else 0.0
+
+
+def database_storage(
+    layouts: Mapping[str, UnifiedLayout],
+    delta_fraction: float = 0.1,
+    weights: Mapping[str, int] = None,
+) -> StorageBreakdown:
+    """Whole-database storage breakdown (Fig. 8b)."""
+    counts = weights if weights is not None else row_counts(1.0)
+    total = StorageBreakdown(0, 0, 0)
+    for name, layout in layouts.items():
+        total = total.merge(storage_breakdown(layout, counts.get(name, 0), delta_fraction))
+    return total
+
+
+#: (table, column) scan lists of the three executable queries, used by the
+#: analytic full-scale models. Q9 scans two tables.
+_QUERY_SCANS: Dict[str, List[Tuple[str, str]]] = {
+    "Q1": [
+        ("orderline", "ol_delivery_d"),
+        ("orderline", "ol_number"),
+        ("orderline", "ol_quantity"),
+        ("orderline", "ol_amount"),
+    ],
+    "Q6": [
+        ("orderline", "ol_delivery_d"),
+        ("orderline", "ol_delivery_d"),
+        ("orderline", "ol_quantity"),
+        ("orderline", "ol_quantity"),
+        ("orderline", "ol_amount"),
+    ],
+    "Q9": [
+        ("item", "i_im_id"),
+        ("item", "i_id"),
+        ("orderline", "ol_i_id"),
+        ("orderline", "ol_amount"),
+    ],
+}
+
+
+def query_scan_columns(query: str, scale: float = 1.0) -> List[Tuple[int, int]]:
+    """``(rows, width)`` scan list of one executable query at ``scale``."""
+    schemas = ch_schema()
+    counts = row_counts(scale)
+    out: List[Tuple[int, int]] = []
+    for table, column in _QUERY_SCANS[query]:
+        out.append((counts[table], schemas[table].column(column).width))
+    return out

@@ -1,0 +1,199 @@
+"""Figure 10 — OLTP/OLAP throughput frontier (§7.3.3).
+
+The frontier plots the OLAP throughput sustainable at each OLTP
+throughput. Three shared resources bound an operating point ``(r, q)``
+(transactions/ns, queries/ns):
+
+* **CPU cores** — ``r · txn_time ≤ cores``;
+* **CPU-side memory bandwidth** — ``r · txn_bytes + q · query_cpu_bytes ≤
+  B_cpu`` (the paper's "memory system reaches the maximum overall
+  bandwidth" knee);
+* **PIM array** — ``q · query_pim_time ≤ 1``.
+
+PUSHtap's OLAP rate is therefore flat (PIM-bound) until OLTP traffic
+eats into the bus, then declines linearly. MI differs in two ways: every
+transaction additionally ships its updates (log + new-versioned rows,
+byte-level re-layout) into the PIM memory space — multiplying its per-
+transaction bus traffic — and each query first drains the staged log
+(rebuild), inflating its query time with the OLTP rate. Both effects
+shift MI's frontier down and left; the paper reports 3.4× peak OLTP and
+4.4× OLAP throughput at MI's peak.
+
+``txn_bytes`` (cache-hierarchy traffic per transaction) and the MI
+shipping multiplier are the calibrated parameters; everything else comes
+from the scan cost model and Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.baselines.multi_instance import MultiInstanceModel
+from repro.baselines.pushtap_model import PushTapQueryModel
+from repro.core.config import SystemConfig, dimm_system
+from repro.experiments.common import query_scan_columns
+from repro.units import S, US
+
+__all__ = ["FrontierPoint", "FrontierModel", "frontier", "peak_ratios"]
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One feasible operating point."""
+
+    system: str
+    oltp_tpmc: float
+    olap_qphh: float
+
+
+@dataclass
+class FrontierModel:
+    """Shared-resource model behind the frontier (see module docstring)."""
+
+    config: SystemConfig
+    #: Per-transaction CPU time (paper-scale DBx1000-class engine).
+    txn_time: float = 3.7 * US
+    #: Per-transaction memory traffic including cache-hierarchy
+    #: amplification (reads, writes, flushes, index walks).
+    txn_bytes: float = 24_000.0
+    #: MI's bus multiplier: log append + new-versioned rows + byte-level
+    #: re-layout shipped through the PIM memory interface.
+    mi_traffic_multiplier: float = 3.4
+    #: CPU-side bytes per analytical query (snapshot, group merges, and
+    #: the Q9-style hash-bucket exchange at full scale). Derived in
+    #: ``__post_init__`` so the PUSHtap plateau knee lands at
+    #: ``knee_tpmc`` (the paper measures ~51.2 MtpmC); pass a value to
+    #: override.
+    query_cpu_bytes: float = 0.0
+    #: OLTP throughput at which OLAP first degrades (calibration target).
+    knee_tpmc: float = 51.2e6
+    writes_per_txn: float = 5.0
+    query_pim_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.query_pim_time:
+            columns = (
+                query_scan_columns("Q1")
+                + query_scan_columns("Q6")
+                + query_scan_columns("Q9")
+            )
+            self.query_pim_time = PushTapQueryModel(self.config).scan_time(columns)
+        if not self.query_cpu_bytes:
+            knee_rate = self.knee_tpmc / 60.0 / 1e9  # tpmC -> txn/ns
+            bus_left = self.config.total_cpu_bandwidth - knee_rate * self.txn_bytes
+            self.query_cpu_bytes = max(bus_left, 1e-9) * self.query_pim_time
+
+    # ------------------------------------------------------------------
+    # PUSHtap
+    # ------------------------------------------------------------------
+    def pushtap_max_oltp(self) -> float:
+        """Peak OLTP rate (txn/ns): cores or bus, whichever binds."""
+        compute = self.config.cpu.cores / self.txn_time
+        bus = self.config.total_cpu_bandwidth / self.txn_bytes
+        return min(compute, bus)
+
+    def pushtap_olap_rate(self, oltp_rate: float) -> float:
+        """OLAP rate (queries/ns) sustainable at ``oltp_rate``."""
+        if oltp_rate > self.pushtap_max_oltp():
+            return 0.0
+        pim_bound = 1.0 / self.query_pim_time
+        bus_left = self.config.total_cpu_bandwidth - oltp_rate * self.txn_bytes
+        bus_bound = max(bus_left, 0.0) / self.query_cpu_bytes
+        return max(0.0, min(pim_bound, bus_bound))
+
+    # ------------------------------------------------------------------
+    # MI
+    # ------------------------------------------------------------------
+    def mi_txn_bytes(self) -> float:
+        """MI per-transaction bus traffic including replica shipping."""
+        return self.txn_bytes * self.mi_traffic_multiplier
+
+    def mi_max_oltp(self) -> float:
+        """MI peak OLTP rate (txn/ns) — bus-bound earlier than PUSHtap."""
+        compute = self.config.cpu.cores / self.txn_time
+        bus = self.config.total_cpu_bandwidth / self.mi_txn_bytes()
+        return min(compute, bus)
+
+    def mi_olap_rate(self, oltp_rate: float) -> float:
+        """MI OLAP rate: bus share plus rebuild-inflated query time."""
+        if oltp_rate > self.mi_max_oltp():
+            return 0.0
+        mi = MultiInstanceModel(self.config, writes_per_txn=self.writes_per_txn)
+        rebuild_per_txn = (
+            mi.log_bytes_per_txn() / self.config.total_cpu_bandwidth
+            + self.writes_per_txn
+            * (2 * mi.avg_row_bytes + 16)
+            / self.config.total_pim_bandwidth
+        )
+        drain = oltp_rate * rebuild_per_txn
+        if drain >= 1.0:
+            return 0.0
+        query_time = self.query_pim_time / (1.0 - drain)
+        pim_bound = 1.0 / query_time
+        bus_left = self.config.total_cpu_bandwidth - oltp_rate * self.mi_txn_bytes()
+        bus_bound = max(bus_left, 0.0) / self.query_cpu_bytes
+        return max(0.0, min(pim_bound, bus_bound))
+
+
+def frontier(
+    system: str,
+    num_points: int = 25,
+    config: Optional[SystemConfig] = None,
+    model: Optional[FrontierModel] = None,
+) -> List[FrontierPoint]:
+    """Sweep OLTP rate 0 → peak; returns (tpmC, QphH) frontier points."""
+    model = model or FrontierModel(config or dimm_system())
+    if system == "pushtap":
+        max_rate, olap = model.pushtap_max_oltp(), model.pushtap_olap_rate
+    elif system == "mi":
+        max_rate, olap = model.mi_max_oltp(), model.mi_olap_rate
+    else:
+        raise ValueError(f"unknown system {system!r}")
+    points: List[FrontierPoint] = []
+    for i in range(num_points + 1):
+        rate = max_rate * i / num_points
+        points.append(
+            FrontierPoint(
+                system=system,
+                oltp_tpmc=rate * S * 60.0,
+                olap_qphh=olap(rate) * S * 3600.0,
+            )
+        )
+    return points
+
+
+def peak_ratios(model: Optional[FrontierModel] = None) -> dict:
+    """The paper's headline frontier numbers (§7.3.3).
+
+    * peak-OLTP ratio — PUSHtap vs MI (paper: 3.4×);
+    * OLAP-throughput ratio at (just under) MI's peak OLTP (paper: 4.4×);
+    * PUSHtap's flat OLAP plateau and the knee where it starts declining
+      (paper: 38.0 k QphH flat until 51.2 MtpmC).
+    """
+    model = model or FrontierModel(dimm_system())
+    mi_peak = model.mi_max_oltp()
+    pushtap_peak = model.pushtap_max_oltp()
+    # MI's measured peak operating point still runs some OLAP; probe just
+    # below the asymptote (the paper's frontier endpoints are measured
+    # points, not limits).
+    probe = mi_peak * 0.85
+    olap_pushtap = model.pushtap_olap_rate(probe)
+    olap_mi = model.mi_olap_rate(probe)
+    pim_bound = 1.0 / model.query_pim_time
+    knee = pushtap_peak
+    for i in range(1, 1001):
+        rate = pushtap_peak * i / 1000
+        if model.pushtap_olap_rate(rate) < pim_bound * 0.999:
+            knee = rate
+            break
+    return {
+        "pushtap_peak_tpmc": pushtap_peak * S * 60,
+        "mi_peak_tpmc": mi_peak * S * 60,
+        "peak_oltp_ratio": pushtap_peak / mi_peak,
+        "olap_ratio_at_mi_peak": (
+            olap_pushtap / olap_mi if olap_mi > 0 else float("inf")
+        ),
+        "pushtap_flat_olap_qphh": pim_bound * S * 3600,
+        "pushtap_knee_tpmc": knee * S * 60,
+    }

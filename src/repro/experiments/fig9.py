@@ -1,0 +1,182 @@
+"""Figure 9 — OLTP and OLAP performance (§7.3).
+
+* **(a)** transaction execution time under row-store (RS, the OLTP
+  ideal), column-store (CS, +28.1 % in the paper), PUSHtap's unified
+  format (+3.5 %, the re-layout cost), and PUSHtap on HBM (a further
+  ~2.5 % change only). Measured *functionally*: the same transaction
+  stream runs against freshly built engines whose OLTP cost model uses
+  each format.
+* **(b)** analytical query time breakdown — ideal / MI / PUSHtap on DIMM
+  and HBM — versus the number of transactions that updated the data
+  before the query. MI pays replica rebuilding (123.3 % overhead at 1M
+  txns, growing to a 13.3× slowdown); PUSHtap pays snapshot +
+  defragmentation (1.5 % → 12.6 %). Computed with the analytic
+  full-scale models calibrated against the functional simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.ideal import IdealOLAPModel
+from repro.baselines.multi_instance import MultiInstanceModel
+from repro.baselines.pushtap_model import PushTapQueryModel
+from repro.core.config import dimm_system, hbm_system
+from repro.core.engine import PushTapEngine
+from repro.experiments.common import query_scan_columns
+from repro.oltp.formats import ColumnStoreModel, RowStoreModel
+from repro.workloads.chbench import ch_schema
+
+__all__ = [
+    "OLTPPoint",
+    "oltp_comparison",
+    "OLAPPoint",
+    "olap_comparison",
+    "DEFAULT_TXN_COUNTS",
+]
+
+DEFAULT_TXN_COUNTS = (10_000, 100_000, 1_000_000, 8_000_000)
+
+#: Average row writes per transaction used by the analytic models,
+#: matching the functional TPC-C driver's Payment/New-Order mix.
+_WRITES_PER_TXN = 5.0
+
+
+@dataclass(frozen=True)
+class OLTPPoint:
+    """Mean transaction time of one format (Fig. 9a bar)."""
+
+    label: str
+    mean_txn_time: float
+    relative_to_rs: float
+    breakdown: Dict[str, float]
+
+
+def oltp_comparison(
+    scale: float = 5e-5,
+    num_txns: int = 200,
+    seed: int = 11,
+) -> List[OLTPPoint]:
+    """Fig. 9a: run the same transaction stream under each format."""
+    variants = [
+        ("RS", "rowstore", dimm_system()),
+        ("CS", "columnstore", dimm_system()),
+        ("PUSHtap", "unified", dimm_system()),
+        ("PUSHtap (HBM)", "unified", hbm_system()),
+    ]
+    results: List[OLTPPoint] = []
+    rs_time: Optional[float] = None
+    for label, fmt, config in variants:
+        engine = PushTapEngine.build(
+            config=config,
+            scale=scale,
+            defrag_period=0,
+            block_rows=256,
+            seed=7,
+        )
+        if fmt == "rowstore":
+            engine.oltp.format_model = RowStoreModel(ch_schema(), config.geometry)
+        elif fmt == "columnstore":
+            engine.oltp.format_model = ColumnStoreModel(ch_schema(), config.geometry)
+        engine.run_transactions(num_txns, engine.make_driver(seed=seed))
+        mean = engine.oltp.mean_txn_time
+        if rs_time is None:
+            rs_time = mean
+        results.append(
+            OLTPPoint(
+                label=label,
+                mean_txn_time=mean,
+                relative_to_rs=mean / rs_time,
+                breakdown={
+                    k: v / max(engine.oltp.committed, 1)
+                    for k, v in engine.oltp.breakdown.as_dict().items()
+                },
+            )
+        )
+    return results
+
+
+@dataclass(frozen=True)
+class OLAPPoint:
+    """One (system, txn-count) point of Fig. 9b."""
+
+    system: str
+    num_txns: int
+    consistency_time: float
+    scan_time: float
+
+    @property
+    def total_time(self) -> float:
+        """End-to-end analytical query time."""
+        return self.consistency_time + self.scan_time
+
+    def overhead_vs(self, ideal_scan: float) -> float:
+        """Total overhead relative to the ideal scan time."""
+        return self.total_time / ideal_scan - 1.0
+
+
+def _mean_query_columns(scale: float) -> List:
+    """Average scan list of the three evaluated queries."""
+    columns: List = []
+    for query in ("Q1", "Q6", "Q9"):
+        columns.extend(query_scan_columns(query, scale))
+    return columns
+
+
+def olap_comparison(
+    txn_counts: Sequence[int] = DEFAULT_TXN_COUNTS,
+    scale: float = 1.0,
+    pim_efficiency: float = 0.944,
+) -> List[OLAPPoint]:
+    """Fig. 9b: ideal / MI / PUSHtap on DIMM and HBM vs txn count."""
+    dimm = dimm_system()
+    hbm = hbm_system()
+    columns = _mean_query_columns(scale)
+
+    ideal = IdealOLAPModel(dimm)
+    mi = MultiInstanceModel(dimm, writes_per_txn=_WRITES_PER_TXN)
+    # MI (HBM) uses the dedicated rebuild accelerator of Polynesia; the
+    # paper estimates it relative to CPU-based consistency (§7.3.2).
+    mi_hbm = MultiInstanceModel(
+        hbm, writes_per_txn=_WRITES_PER_TXN, accelerator_speedup=6.0
+    )
+    pushtap = PushTapQueryModel(
+        dimm, pim_efficiency=pim_efficiency, writes_per_txn=_WRITES_PER_TXN
+    )
+    pushtap_hbm = PushTapQueryModel(
+        hbm, pim_efficiency=pim_efficiency, writes_per_txn=_WRITES_PER_TXN
+    )
+
+    out: List[OLAPPoint] = []
+    ideal_scan = ideal.query_time(columns)
+    for n in txn_counts:
+        out.append(OLAPPoint("ideal", n, 0.0, ideal_scan))
+        out.append(OLAPPoint("MI", n, mi.rebuild_cost(n).total, mi.scan_time(columns)))
+        out.append(
+            OLAPPoint(
+                "MI (HBM)", n, mi_hbm.rebuild_cost(n).total, mi_hbm.scan_time(columns)
+            )
+        )
+        base_rows = max(sum(rows for rows, _ in columns), 1)
+        out.append(
+            OLAPPoint(
+                "PUSHtap",
+                n,
+                pushtap.query_consistency(n),
+                pushtap.scan_time(
+                    columns, pushtap.pending_delta_fraction(n, base_rows)
+                ),
+            )
+        )
+        out.append(
+            OLAPPoint(
+                "PUSHtap (HBM)",
+                n,
+                pushtap_hbm.query_consistency(n),
+                pushtap_hbm.scan_time(
+                    columns, pushtap_hbm.pending_delta_fraction(n, base_rows)
+                ),
+            )
+        )
+    return out

@@ -1,0 +1,32 @@
+"""The unified data storage format (§4): schemas, layouts, placement."""
+
+from repro.format.schema import Column, TableSchema
+from repro.format.layout import UnifiedLayout, TablePart, DeviceSlot, FieldPlacement
+from repro.format.binpack import compact_aligned_layout, compact_aligned_layout_with_report
+from repro.format.naive import naive_aligned_layout
+from repro.format.circulant import BlockCirculantPlacement
+from repro.format.bandwidth import (
+    cpu_effective_bandwidth,
+    cpu_lines_per_row,
+    pim_column_efficiency,
+    pim_effective_bandwidth,
+    storage_breakdown,
+)
+
+__all__ = [
+    "Column",
+    "TableSchema",
+    "UnifiedLayout",
+    "TablePart",
+    "DeviceSlot",
+    "FieldPlacement",
+    "compact_aligned_layout",
+    "compact_aligned_layout_with_report",
+    "naive_aligned_layout",
+    "BlockCirculantPlacement",
+    "cpu_effective_bandwidth",
+    "cpu_lines_per_row",
+    "pim_column_efficiency",
+    "pim_effective_bandwidth",
+    "storage_breakdown",
+]

@@ -1,0 +1,134 @@
+"""Effective-bandwidth models for CPU (ADE) and PIM (IDE) access (§4, §7.2).
+
+*Effective bandwidth* is the fraction of transferred bytes that carry
+useful data. For the CPU it is driven by how many interleaved cache lines
+a row access touches; for a PIM unit it is the ratio of the scanned key
+column's width to the row width of the part holding it (a streamed scan at
+8 B granularity must read the whole per-row footprint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.config import DeviceGeometry
+from repro.errors import LayoutError
+from repro.format.layout import UnifiedLayout
+from repro.units import ceil_div
+
+__all__ = [
+    "cpu_lines_per_row",
+    "cpu_effective_bandwidth",
+    "pim_column_efficiency",
+    "pim_effective_bandwidth",
+    "StorageBreakdown",
+    "storage_breakdown",
+]
+
+
+def cpu_lines_per_row(layout: UnifiedLayout, geometry: DeviceGeometry) -> int:
+    """Interleaved bursts (cache lines) one full-row CPU access touches.
+
+    Each part contributes ``ceil(W / g)`` bursts of ``g · d`` bytes, where
+    ``W`` is the part's row width and ``g`` the interleave granularity.
+    """
+    g = geometry.interleave_granularity
+    return sum(ceil_div(part.row_width, g) for part in layout.parts)
+
+
+def cpu_effective_bandwidth(layout: UnifiedLayout, geometry: DeviceGeometry) -> float:
+    """Useful fraction of bytes moved when the CPU reads one row."""
+    lines = cpu_lines_per_row(layout, geometry)
+    transferred = lines * geometry.cache_line_bytes
+    if transferred == 0:
+        return 0.0
+    return layout.useful_bytes_per_row() / transferred
+
+
+def pim_column_efficiency(layout: UnifiedLayout, column: str) -> float:
+    """Useful fraction of bytes a PIM unit streams when scanning a key column."""
+    run = layout.key_column_location(column)
+    part = layout.parts[run.part_index]
+    return layout.schema.column(column).width / part.row_width
+
+
+def pim_effective_bandwidth(
+    layout: UnifiedLayout, column_weights: Mapping[str, float]
+) -> float:
+    """Scan-frequency-weighted average PIM efficiency over key columns.
+
+    ``column_weights`` maps key column name → how often analytical queries
+    scan it (e.g. the number of TPC-H queries touching it). Columns with
+    zero or missing weight do not contribute.
+    """
+    total_weight = 0.0
+    weighted = 0.0
+    for name, weight in column_weights.items():
+        if weight <= 0:
+            continue
+        if name not in layout.key_columns:
+            raise LayoutError(
+                f"weighted column {name!r} is not a key column of the layout"
+            )
+        weighted += weight * pim_column_efficiency(layout, name)
+        total_weight += weight
+    if total_weight == 0:
+        return 0.0
+    return weighted / total_weight
+
+
+@dataclass(frozen=True)
+class StorageBreakdown:
+    """Memory-storage breakdown of one laid-out table (Fig. 8b)."""
+
+    data_bytes: int
+    padding_bytes: int
+    bitmap_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Total stored bytes."""
+        return self.data_bytes + self.padding_bytes + self.bitmap_bytes
+
+    @property
+    def padding_fraction(self) -> float:
+        """Padding share of total storage."""
+        return self.padding_bytes / self.total_bytes if self.total_bytes else 0.0
+
+    @property
+    def bitmap_fraction(self) -> float:
+        """Snapshot-bitmap share of total storage."""
+        return self.bitmap_bytes / self.total_bytes if self.total_bytes else 0.0
+
+    def merge(self, other: "StorageBreakdown") -> "StorageBreakdown":
+        """Sum two breakdowns (for multi-table totals)."""
+        return StorageBreakdown(
+            self.data_bytes + other.data_bytes,
+            self.padding_bytes + other.padding_bytes,
+            self.bitmap_bytes + other.bitmap_bytes,
+        )
+
+
+def storage_breakdown(
+    layout: UnifiedLayout,
+    num_rows: int,
+    delta_fraction: float = 0.1,
+) -> StorageBreakdown:
+    """Compute the storage breakdown of a table under ``layout``.
+
+    The delta region is sized as ``delta_fraction`` of the data region.
+    Snapshot bitmaps hold one bit per data row and one per delta row, and
+    every device of the rank keeps a copy (§5.2), so the bitmap costs
+    ``d`` bits per region row.
+    """
+    if num_rows < 0:
+        raise LayoutError("num_rows must be non-negative")
+    if not 0.0 <= delta_fraction:
+        raise LayoutError("delta_fraction must be non-negative")
+    delta_rows = int(num_rows * delta_fraction)
+    region_rows = num_rows + delta_rows
+    data = region_rows * layout.useful_bytes_per_row()
+    padding = region_rows * layout.padding_bytes_per_row()
+    bitmap_bits = region_rows * layout.num_devices
+    return StorageBreakdown(data, padding, ceil_div(bitmap_bits, 8))

@@ -1,0 +1,94 @@
+"""Row-store and column-store baseline format models (Fig. 3a).
+
+These are the conventional formats PUSHtap's unified format is compared
+against in §7.3.1. They do not align rows/columns to the ADE/IDE
+dimensions, so:
+
+* **row-store** — ideal for OLTP: one row access touches
+  ``ceil(row_bytes / cache_line)`` lines; column scans must stream the
+  whole table through the CPU.
+* **column-store** — ideal for PIM column scans (columns are compact) but
+  a row access touches one cache line per column, and rows are not
+  ADE-aligned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.config import DeviceGeometry
+from repro.errors import SchemaError
+from repro.format.schema import TableSchema
+from repro.units import ceil_div
+
+__all__ = ["RowStoreFormat", "ColumnStoreFormat"]
+
+
+@dataclass(frozen=True)
+class RowStoreFormat:
+    """Conventional row-store layout of one table."""
+
+    schema: TableSchema
+
+    def lines_per_row_access(
+        self, geometry: DeviceGeometry, columns: Optional[Sequence[str]] = None
+    ) -> int:
+        """Cache lines touched when accessing a row.
+
+        Row-store keeps a row contiguous, so even a partial-column access
+        reads the row's span (columns are adjacent).
+        """
+        del columns  # the whole row span is fetched either way
+        return ceil_div(self.schema.row_bytes, geometry.cache_line_bytes)
+
+    def cpu_effective_bandwidth(self, geometry: DeviceGeometry) -> float:
+        """Useful fraction of a full-row access."""
+        lines = self.lines_per_row_access(geometry)
+        return self.schema.row_bytes / (lines * geometry.cache_line_bytes)
+
+    def pim_scan_efficiency(self, column: str) -> Optional[float]:
+        """Row-store columns are not IDE-aligned — no PIM scan possible."""
+        self.schema.column(column)
+        return None
+
+    def column_scan_bytes(self, column: str, num_rows: int) -> int:
+        """Bytes the CPU must stream to scan one column (whole table)."""
+        self.schema.column(column)
+        return self.schema.row_bytes * num_rows
+
+
+@dataclass(frozen=True)
+class ColumnStoreFormat:
+    """Conventional column-store layout of one table."""
+
+    schema: TableSchema
+
+    def lines_per_row_access(
+        self, geometry: DeviceGeometry, columns: Optional[Sequence[str]] = None
+    ) -> int:
+        """Cache lines touched when accessing a row.
+
+        Every column lives in its own region, so each accessed column
+        costs one cache line (§7.3.1: reconstructing rows is what makes
+        CS transactions 28 % slower).
+        """
+        names = list(columns) if columns is not None else self.schema.column_names
+        for name in names:
+            if not self.schema.has_column(name):
+                raise SchemaError(f"unknown column {name!r}")
+        return max(1, len(names))
+
+    def cpu_effective_bandwidth(self, geometry: DeviceGeometry) -> float:
+        """Useful fraction of a full-row access."""
+        lines = self.lines_per_row_access(geometry)
+        return self.schema.row_bytes / (lines * geometry.cache_line_bytes)
+
+    def pim_scan_efficiency(self, column: str) -> Optional[float]:
+        """Columns are compact: a dedicated-instance PIM scan is 100 % useful."""
+        self.schema.column(column)
+        return 1.0
+
+    def column_scan_bytes(self, column: str, num_rows: int) -> int:
+        """Bytes streamed to scan one column (just the column)."""
+        return self.schema.column(column).width * num_rows

@@ -1,0 +1,53 @@
+"""Naïve aligned format (§4.1.1, Fig. 3b).
+
+Columns are grouped in schema order into parts of ``d`` columns (one column
+per device slot); every slot of a part is padded to the width of the part's
+widest column. All rows and columns are hardware-aligned, but padding
+wastes both capacity and CPU/PIM bandwidth — the problem the compact
+aligned format (``repro.format.binpack``) solves.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import LayoutError
+from repro.format.layout import DeviceSlot, FieldPlacement, TablePart, UnifiedLayout
+from repro.format.schema import TableSchema
+
+__all__ = ["naive_aligned_layout"]
+
+
+def naive_aligned_layout(
+    schema: TableSchema,
+    num_devices: int,
+    key_columns: Sequence[str] = (),
+) -> UnifiedLayout:
+    """Generate the naïve aligned format for ``schema``.
+
+    Every column is placed unsplit in its own device slot, in schema
+    order, ``num_devices`` columns per part. ``key_columns`` defaults to
+    *all* columns (the conservative choice the paper's "ALL" subset
+    degrades to); pass a subset to keep the bookkeeping consistent with a
+    specific workload.
+    """
+    if num_devices <= 0:
+        raise LayoutError("num_devices must be positive")
+    columns = list(schema)
+    keys = tuple(key_columns) if key_columns else tuple(schema.column_names)
+
+    parts: List[TablePart] = []
+    for part_index, start in enumerate(range(0, len(columns), num_devices)):
+        group = columns[start : start + num_devices]
+        width = max(c.width for c in group)
+        slots: List[DeviceSlot] = []
+        for slot_index in range(num_devices):
+            if slot_index < len(group):
+                col = group[slot_index]
+                slots.append(
+                    DeviceSlot(slot_index, (FieldPlacement(col.name, 0, 0, col.width),))
+                )
+            else:
+                slots.append(DeviceSlot(slot_index))
+        parts.append(TablePart(part_index, width, tuple(slots)))
+    return UnifiedLayout(schema, parts, keys, num_devices)

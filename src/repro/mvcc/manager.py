@@ -1,0 +1,242 @@
+"""The MVCC manager: version chains, the update log, and visibility (§5.1).
+
+One :class:`MVCCManager` serves one table. It tracks version chains for
+updated rows (rows never updated implicitly have their original version in
+the data region), appends inserts at the data-region cursor, and keeps an
+ordered *update log* that snapshotting (§5.2) replays incrementally.
+
+Byte movement is **not** done here — the manager deals in
+:class:`~repro.mvcc.metadata.RowRef` locations; the storage engine binds
+refs to device addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import TransactionError
+from repro.mvcc.metadata import Region, RowRef, VersionChain, VersionEntry
+from repro.mvcc.regions import DataRegion, DeltaAllocator
+
+__all__ = ["UpdateRecord", "MVCCManager"]
+
+
+@dataclass(frozen=True)
+class UpdateRecord:
+    """One committed write, as replayed by snapshotting.
+
+    ``kind`` is ``"update"``, ``"insert"`` or ``"delete"``. For updates,
+    ``new_ref`` is the freshly allocated delta row and ``prev_ref`` the
+    version it supersedes; for inserts ``new_ref`` is the appended data
+    row; for deletes ``new_ref`` is None.
+    """
+
+    write_ts: int
+    kind: str
+    row_id: int
+    new_ref: Optional[RowRef]
+    prev_ref: Optional[RowRef]
+
+
+class MVCCManager:
+    """Multi-version concurrency control for one table."""
+
+    def __init__(
+        self,
+        initial_rows: int,
+        capacity_rows: int,
+        block_rows: int,
+        num_devices: int,
+        delta_capacity_blocks: int,
+    ) -> None:
+        if initial_rows > capacity_rows:
+            raise TransactionError("initial_rows exceeds capacity_rows")
+        self.data = DataRegion(capacity_rows, block_rows, num_devices)
+        self.delta = DeltaAllocator(block_rows, num_devices, delta_capacity_blocks)
+        self.num_rows = initial_rows
+        self._chains: Dict[int, VersionChain] = {}
+        self._tombstones: Dict[int, int] = {}
+        self._log: List[UpdateRecord] = []
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def read(self, row_id: int, ts: int) -> RowRef:
+        """Locate the version of ``row_id`` visible at ``ts``."""
+        self._check_row(row_id)
+        if row_id in self._tombstones and self._tombstones[row_id] <= ts:
+            raise TransactionError(f"row {row_id} deleted at ts {self._tombstones[row_id]}")
+        chain = self._chains.get(row_id)
+        if chain is None:
+            return RowRef(Region.DATA, row_id)
+        entry = chain.visible_at(ts)
+        if entry is None:
+            raise TransactionError(f"row {row_id} not visible at ts {ts}")
+        entry.observe_read(ts)
+        return entry.location
+
+    def newest_ref(self, row_id: int) -> RowRef:
+        """Location of the newest version (ignores visibility)."""
+        self._check_row(row_id)
+        chain = self._chains.get(row_id)
+        if chain is None:
+            return RowRef(Region.DATA, row_id)
+        return chain.head.location
+
+    def chain_length(self, row_id: int) -> int:
+        """Number of versions of ``row_id`` (1 if never updated)."""
+        self._check_row(row_id)
+        chain = self._chains.get(row_id)
+        return chain.length() if chain is not None else 1
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def update(self, row_id: int, ts: int) -> RowRef:
+        """Create a new version of ``row_id``; returns its delta location.
+
+        The delta row is allocated with the same rotation as the row's
+        data block so defragmentation can copy it back device-locally.
+        """
+        self._check_row(row_id)
+        rotation = self.data.rotation_of(row_id)
+        delta_index = self.delta.allocate(rotation)
+        new_ref = RowRef(Region.DELTA, delta_index)
+        chain = self._chains.get(row_id)
+        if chain is None:
+            origin = VersionEntry(write_ts=0, location=RowRef(Region.DATA, row_id))
+            chain = VersionChain(row_id, origin)
+            self._chains[row_id] = chain
+        prev_ref = chain.head.location
+        chain.install(VersionEntry(write_ts=ts, location=new_ref))
+        self._log.append(UpdateRecord(ts, "update", row_id, new_ref, prev_ref))
+        return new_ref
+
+    def insert(self, ts: int) -> Tuple[int, RowRef]:
+        """Append a new row at the data-region cursor."""
+        if self.num_rows >= self.data.num_rows:
+            raise TransactionError(
+                f"table full: capacity {self.data.num_rows} rows reached"
+            )
+        row_id = self.num_rows
+        self.num_rows += 1
+        ref = RowRef(Region.DATA, row_id)
+        self._chains[row_id] = VersionChain(row_id, VersionEntry(ts, ref))
+        self._log.append(UpdateRecord(ts, "insert", row_id, ref, None))
+        return row_id, ref
+
+    def delete(self, row_id: int, ts: int) -> None:
+        """Tombstone a row as of ``ts``."""
+        self._check_row(row_id)
+        if row_id in self._tombstones:
+            raise TransactionError(f"row {row_id} already deleted")
+        self._tombstones[row_id] = ts
+        self._log.append(UpdateRecord(ts, "delete", row_id, None, self.newest_ref(row_id)))
+
+    # ------------------------------------------------------------------
+    # Rollback (transaction aborts)
+    # ------------------------------------------------------------------
+    def undo_update(self, row_id: int) -> RowRef:
+        """Remove the newest version of ``row_id`` (abort path).
+
+        The popped delta row is released and the matching log record
+        dropped; returns the removed version's location.
+        """
+        chain = self._chains.get(row_id)
+        if chain is None or chain.head.prev is None:
+            raise TransactionError(f"row {row_id} has no version to undo")
+        removed = chain.head.location
+        if removed.region != Region.DELTA:
+            raise TransactionError(f"row {row_id}: newest version is not in the delta")
+        # Validate the log tail before mutating anything (undo is atomic).
+        self._pop_log("update", row_id)
+        chain.head = chain.head.prev
+        self.delta.release(removed.index)
+        return removed
+
+    def undo_insert(self, row_id: int) -> None:
+        """Remove a freshly appended row (abort path).
+
+        Only the most recent insert can be undone — aborts unwind in
+        reverse order.
+        """
+        if row_id != self.num_rows - 1:
+            raise TransactionError(
+                f"can only undo the most recent insert (row {self.num_rows - 1}), "
+                f"got {row_id}"
+            )
+        self._pop_log("insert", row_id)
+        del self._chains[row_id]
+        self.num_rows -= 1
+
+    def undo_delete(self, row_id: int) -> None:
+        """Remove a tombstone (abort path)."""
+        if row_id not in self._tombstones:
+            raise TransactionError(f"row {row_id} is not deleted")
+        self._pop_log("delete", row_id)
+        del self._tombstones[row_id]
+
+    def _pop_log(self, kind: str, row_id: int) -> None:
+        if not self._log or self._log[-1].kind != kind or self._log[-1].row_id != row_id:
+            raise TransactionError(
+                f"log tail does not match undo of {kind} on row {row_id}"
+            )
+        self._log.pop()
+
+    def tombstoned_rows(self) -> List[int]:
+        """Row ids deleted so far (all committed in the single-writer sim)."""
+        return sorted(self._tombstones)
+
+    # ------------------------------------------------------------------
+    # Snapshot / defragmentation support
+    # ------------------------------------------------------------------
+    def log_since(self, ts: int) -> Iterator[UpdateRecord]:
+        """Committed records with ``write_ts > ts``, in commit order."""
+        for record in self._log:
+            if record.write_ts > ts:
+                yield record
+
+    def log_between(self, after_ts: int, upto_ts: int) -> Iterator[UpdateRecord]:
+        """Records with ``after_ts < write_ts <= upto_ts`` (snapshotting)."""
+        for record in self._log:
+            if after_ts < record.write_ts <= upto_ts:
+                yield record
+
+    @property
+    def log_length(self) -> int:
+        """Number of committed write records retained."""
+        return len(self._log)
+
+    def updated_chains(self) -> List[VersionChain]:
+        """Chains whose newest version lives in the delta region."""
+        return [
+            c for c in self._chains.values() if c.head.location.region == Region.DELTA
+        ]
+
+    def stale_version_count(self) -> int:
+        """Superseded versions awaiting defragmentation."""
+        return sum(c.length() - 1 for c in self._chains.values())
+
+    def compact(self) -> List[Tuple[int, RowRef]]:
+        """Defragmentation bookkeeping: fold newest versions into the data
+        region.
+
+        Returns ``(row_id, delta_ref)`` pairs that the storage layer must
+        copy back (delta → origin data row). Chains are truncated, all
+        delta rows released, and the update log cleared up to now.
+        """
+        moves: List[Tuple[int, RowRef]] = []
+        for chain in list(self._chains.values()):
+            head_loc = chain.head.location
+            if head_loc.region == Region.DELTA:
+                moves.append((chain.row_id, head_loc))
+                chain.head.location = RowRef(Region.DATA, chain.row_id)
+            chain.truncate_to_head()
+        self.delta.release_all()
+        self._log.clear()
+        return moves
+
+    def _check_row(self, row_id: int) -> None:
+        if row_id < 0 or row_id >= self.num_rows:
+            raise TransactionError(f"row {row_id} out of range [0, {self.num_rows})")

@@ -1,0 +1,7 @@
+"""The OLAP engine: PIM operators, plans, queries, predicates, costs.
+
+Import submodules directly (``repro.olap.engine``, ``repro.olap.queries``,
+``repro.olap.predicates``, ...). The package initializer stays empty to
+avoid a cycle with :mod:`repro.core.table`, which the engine modules
+import.
+"""

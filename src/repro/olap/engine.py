@@ -1,0 +1,265 @@
+"""The OLAP engine: snapshot-consistent PIM scans plus CPU glue (§6.3).
+
+The engine runs physical operators through the two-phase executor, takes
+care of snapshotting before each query, and converts CPU-side glue work
+(result harvest, group merge, bucket exchange) into time using the system
+configuration's CPU bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.core.table import TableRuntime
+from repro.errors import QueryError
+from repro.olap import plan as qplan
+from repro.olap.operators import (
+    AggregationOperation,
+    FilterOperation,
+    GroupOperation,
+    HashOperation,
+    RegionRows,
+    RowSlice,
+    UnitIndex,
+)
+from repro.pim.controller import _ControllerBase
+from repro.pim.executor import ExecutionResult, TwoPhaseExecutor
+from repro.pim.pim_unit import Condition
+
+__all__ = ["QueryTiming", "OLAPEngine", "CPUFilterResult"]
+
+
+@dataclass
+class CPUFilterResult:
+    """Outcome of a CPU fallback scan (§4.1.2) — mask-compatible with
+    :class:`~repro.olap.operators.FilterOperation`."""
+
+    column: str
+    condition: "Condition"
+    masks: Dict["RowSlice", np.ndarray] = field(default_factory=dict)
+    cpu_bytes: int = 0
+
+#: Modelled per-element CPU merge cost (ns) for dictionaries/buckets.
+_CPU_MERGE_NS_PER_ELEMENT = 0.5
+
+
+@dataclass
+class QueryTiming:
+    """Time accounting of one analytical query (Fig. 9b breakdown)."""
+
+    snapshot_time: float = 0.0
+    defrag_time: float = 0.0
+    scan: ExecutionResult = field(default_factory=ExecutionResult)
+    cpu_time: float = 0.0
+
+    @property
+    def consistency_time(self) -> float:
+        """Snapshot + defragmentation — the paper's *consistency* bar."""
+        return self.snapshot_time + self.defrag_time
+
+    @property
+    def total_time(self) -> float:
+        """End-to-end query time."""
+        return self.consistency_time + self.scan.total_time + self.cpu_time
+
+    def add_cpu_bytes(self, nbytes: int, bandwidth: float) -> None:
+        """Account CPU traffic at ``bandwidth`` bytes/ns."""
+        self.cpu_time += nbytes / bandwidth
+
+
+class OLAPEngine:
+    """Executes analytical operators against table runtimes."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        controller: _ControllerBase,
+        units: UnitIndex,
+    ) -> None:
+        self.config = config
+        self.controller = controller
+        self.units = units
+        self.executor = TwoPhaseExecutor(controller)
+
+    def _units_for(self, table: TableRuntime) -> UnitIndex:
+        """The PIM units of the rank holding ``table``."""
+        return table.units if table.units is not None else self.units
+
+    # ------------------------------------------------------------------
+    # Snapshot
+    # ------------------------------------------------------------------
+    def snapshot(self, table: TableRuntime, ts: int, timing: QueryTiming) -> None:
+        """Bring the table's snapshot up to ``ts`` and charge its cost."""
+        cost = table.snapshots.update_to(ts)
+        timing.snapshot_time += cost.total_cpu_bytes / self.config.total_cpu_bandwidth
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+    def filter(
+        self,
+        table: TableRuntime,
+        column: str,
+        condition: Condition,
+        timing: QueryTiming,
+        rows: Optional[RegionRows] = None,
+    ) -> FilterOperation:
+        """Run a predicate scan; mask harvest is charged to CPU time."""
+        op = FilterOperation(
+            table.storage,
+            self._units_for(table),
+            column,
+            condition,
+            rows or table.region_rows(),
+        )
+        timing.scan = timing.scan.merge(self.executor.execute(op))
+        timing.add_cpu_bytes(op.cpu_transfer_bytes, self.config.total_cpu_bandwidth)
+        return op
+
+    def group(
+        self,
+        table: TableRuntime,
+        column: str,
+        timing: QueryTiming,
+        rows: Optional[RegionRows] = None,
+    ) -> Tuple[GroupOperation, qplan.MergedGroups]:
+        """Group scan + CPU dictionary merge."""
+        op = GroupOperation(
+            table.storage, self._units_for(table), column, rows or table.region_rows()
+        )
+        timing.scan = timing.scan.merge(self.executor.execute(op))
+        timing.add_cpu_bytes(op.cpu_transfer_bytes, self.config.total_cpu_bandwidth)
+        merged = qplan.merge_group_blocks(op)
+        timing.add_cpu_bytes(merged.cpu_bytes, self.config.total_cpu_bandwidth)
+        timing.cpu_time += merged.num_groups * _CPU_MERGE_NS_PER_ELEMENT
+        return op, merged
+
+    def aggregate(
+        self,
+        table: TableRuntime,
+        column: str,
+        indices: Mapping[RowSlice, np.ndarray],
+        num_groups: int,
+        timing: QueryTiming,
+        rows: Optional[RegionRows] = None,
+    ) -> np.ndarray:
+        """Grouped sum of a value column under precomputed group indices."""
+        op = AggregationOperation(
+            table.storage,
+            self._units_for(table),
+            column,
+            rows or table.region_rows(),
+            indices,
+            num_groups,
+        )
+        timing.scan = timing.scan.merge(self.executor.execute(op))
+        timing.add_cpu_bytes(op.cpu_transfer_bytes, self.config.total_cpu_bandwidth)
+        return op.total()
+
+    def hash_scan(
+        self,
+        table: TableRuntime,
+        column: str,
+        timing: QueryTiming,
+        rows: Optional[RegionRows] = None,
+        hash_function: int = 0,
+    ) -> HashOperation:
+        """Hash a join key column."""
+        op = HashOperation(
+            table.storage,
+            self._units_for(table),
+            column,
+            rows or table.region_rows(),
+            hash_function,
+        )
+        timing.scan = timing.scan.merge(self.executor.execute(op))
+        timing.add_cpu_bytes(op.cpu_transfer_bytes, self.config.total_cpu_bandwidth)
+        return op
+
+    def join(
+        self,
+        build: HashOperation,
+        probe: HashOperation,
+        timing: QueryTiming,
+        num_buckets: int = 64,
+        build_masks: Optional[Mapping[RowSlice, np.ndarray]] = None,
+    ) -> qplan.JoinResult:
+        """Bucketized hash join; PIM bucket matching charged as compute."""
+        result = qplan.hash_join(build, probe, num_buckets, build_masks)
+        timing.add_cpu_bytes(result.cpu_bytes, self.config.total_cpu_bandwidth)
+        # PIM units match buckets in parallel (§6.3): elements spread over
+        # all units' tasklets at the join cycle cost.
+        pim = self.config.pim
+        per_unit = result.pim_elements / max(1, len(self.units))
+        steps = per_unit / pim.tasklets
+        timing.scan.compute_time += steps * 12 * pim.cycle_ns
+        timing.scan.total_time += steps * 12 * pim.cycle_ns
+        return result
+
+    def cpu_filter(
+        self,
+        table: TableRuntime,
+        column: str,
+        condition: Condition,
+        timing: QueryTiming,
+        rows: Optional[RegionRows] = None,
+    ) -> "CPUFilterResult":
+        """Predicate scan of *any* column through the CPU (§4.1.2).
+
+        Normal columns are not IDE-aligned, so PIM units cannot stream
+        them; the CPU streams every part containing the column instead —
+        correct, but at a bandwidth cost the key-column mechanism avoids.
+        Masks are produced per block in the same :class:`RowSlice` shape
+        as PIM filters, so results compose with aggregates and joins.
+        """
+        rows = rows or table.region_rows()
+        storage = table.storage
+        masks: Dict[RowSlice, np.ndarray] = {}
+        cpu_bytes = 0
+        per_row_compute = 1.0  # ns per predicate evaluation on the CPU
+        from repro.mvcc.metadata import Region
+
+        for region, count, visible in (
+            (Region.DATA, rows.data_rows, table.snapshots.visible_data_rows()),
+            (Region.DELTA, rows.delta_rows, table.snapshots.visible_delta_rows()),
+        ):
+            if count <= 0:
+                continue
+            raw = storage.read_column_values(region, column, count)
+            values = np.array(
+                [v if isinstance(v, int) else 0 for v in raw], dtype=np.uint64
+            )
+            matches = condition.evaluate(values) & visible[:count]
+            cpu_bytes += storage.cpu_scan_bytes(column, count)
+            timing.cpu_time += count * per_row_compute
+            block = storage.block_rows
+            for base in range(0, count, block):
+                hi = min(base + block, count)
+                masks[RowSlice(region, base, hi - base)] = matches[base:hi]
+        timing.add_cpu_bytes(cpu_bytes, self.config.total_cpu_bandwidth)
+        return CPUFilterResult(column=column, condition=condition, masks=masks,
+                               cpu_bytes=cpu_bytes)
+
+    # ------------------------------------------------------------------
+    # Derived helpers
+    # ------------------------------------------------------------------
+    def filtered_sum(
+        self,
+        table: TableRuntime,
+        filters: Sequence[FilterOperation],
+        value_column: str,
+        timing: QueryTiming,
+        rows: Optional[RegionRows] = None,
+    ) -> int:
+        """SUM(value) over rows passing all filters (no GROUP BY)."""
+        if not filters:
+            raise QueryError("filtered_sum needs at least one filter")
+        masks, cpu_bytes = qplan.combine_masks(filters)
+        timing.add_cpu_bytes(cpu_bytes, self.config.total_cpu_bandwidth)
+        indices = qplan.masks_to_indices(masks)
+        total = self.aggregate(table, value_column, indices, 1, timing, rows)
+        return int(total[0])

@@ -1,0 +1,445 @@
+"""Physical OLAP operators executed by PIM units (§6.2, §6.3).
+
+Each operator is a :class:`~repro.pim.executor.ChunkedOperation`: its work
+is a list of :class:`~repro.core.storage.BlockScan` items per PIM unit,
+chunked so each phase's data fits in half the WRAM. A load phase stages
+the snapshot-bitmap slice and the column bytes of up to
+``blocks_per_phase`` blocks into WRAM; the compute phase then runs the
+corresponding Fig. 7b operation per block.
+
+Operators collect *functional* results (masks, group keys, hashes,
+partial sums) on the Python side, standing in for the CPU harvesting
+result buffers; the harvest traffic is modelled via
+``cpu_transfer_bytes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.storage import BlockScan, TableStorage
+from repro.errors import QueryError
+from repro.mvcc.metadata import Region
+from repro.pim.pim_unit import Condition, PIMUnit
+from repro.pim.requests import LaunchRequest, OpType
+from repro.pim.timing import stream_time
+from repro.units import ceil_div
+
+__all__ = [
+    "UnitIndex",
+    "FilterOperation",
+    "GroupOperation",
+    "AggregationOperation",
+    "HashOperation",
+    "RegionRows",
+    "RowSlice",
+]
+
+#: Maps (device, bank) to the PIM unit responsible for that bank.
+UnitIndex = Mapping[Tuple[int, int], PIMUnit]
+
+
+@dataclass(frozen=True)
+class RegionRows:
+    """How many rows to scan in each region."""
+
+    data_rows: int
+    delta_rows: int = 0
+
+
+@dataclass(frozen=True)
+class RowSlice:
+    """Identifies the rows of one scanned block: region + base row."""
+
+    region: str
+    base_row: int
+    num_rows: int
+
+
+class _ColumnScanOperation:
+    """Shared machinery: plan, chunking, WRAM staging, bitmap loads."""
+
+    #: Bytes of WRAM the result region of one block may use.
+    _RESULT_BYTES_PER_BLOCK = 4096
+
+    def __init__(
+        self,
+        storage: TableStorage,
+        units: UnitIndex,
+        column: str,
+        rows: RegionRows,
+    ) -> None:
+        self.storage = storage
+        self.units = units
+        self.column = column
+        self.rows = rows
+        self.width = storage.layout.schema.column(column).width
+        self._scans: List[Tuple[BlockScan, RowSlice]] = []
+        for region, count in (
+            (Region.DATA, rows.data_rows),
+            (Region.DELTA, rows.delta_rows),
+        ):
+            if count <= 0:
+                continue
+            for scan in storage.column_scan_plan(column, region, count):
+                self._scans.append(
+                    (scan, RowSlice(region, scan.base_row, scan.num_rows))
+                )
+        if not self._scans:
+            raise QueryError(f"nothing to scan for column {self.column!r}")
+        self._queues: Dict[Tuple[int, int], List[int]] = {}
+        for i, (scan, _) in enumerate(self._scans):
+            self._queues.setdefault((scan.device, scan.bank), []).append(i)
+        missing = [key for key in self._queues if key not in units]
+        if missing:
+            raise QueryError(f"no PIM unit for banks {missing}")
+        any_unit = next(iter(units.values()))
+        self._blocks_per_phase = self._compute_blocks_per_phase(any_unit)
+        self._chunks = max(
+            ceil_div(len(q), self._blocks_per_phase) for q in self._queues.values()
+        )
+
+    # -- WRAM budget ----------------------------------------------------
+    def _per_block_wram_bytes(self) -> int:
+        block = self.storage.block_rows
+        bitmap = block // 8
+        data = block * self.width
+        aux = self._aux_bytes_per_block()
+        return bitmap + data + aux + self._RESULT_BYTES_PER_BLOCK
+
+    def _aux_bytes_per_block(self) -> int:
+        """Extra staged bytes (e.g. index arrays); subclasses override."""
+        return 0
+
+    def _compute_blocks_per_phase(self, unit: PIMUnit) -> int:
+        budget = unit.config.load_buffer_bytes
+        need = self._per_block_wram_bytes()
+        if need > budget:
+            raise QueryError(
+                f"one block needs {need} B of WRAM, budget is {budget} B"
+            )
+        return max(1, budget // need)
+
+    def _offsets(self, batch_slot: int) -> Dict[str, int]:
+        """WRAM offsets of one block's regions within a phase batch."""
+        base = batch_slot * self._per_block_wram_bytes()
+        block = self.storage.block_rows
+        bitmap = base
+        data = bitmap + block // 8
+        aux = data + block * self.width
+        result = aux + self._aux_bytes_per_block()
+        return {"bitmap": bitmap, "data": data, "aux": aux, "result": result}
+
+    # -- ChunkedOperation interface --------------------------------------
+    def num_chunks(self) -> int:
+        """Phases needed to drain the longest unit queue."""
+        return self._chunks
+
+    def participating_units(self) -> Sequence[PIMUnit]:
+        """Units owning at least one block of this scan."""
+        return [self.units[key] for key in sorted(self._queues)]
+
+    def load_request(self, chunk: int) -> LaunchRequest:
+        """Representative LS request for the phase (Fig. 7b encoding)."""
+        scan, _ = self._scans[0]
+        return LaunchRequest(
+            OpType.LS,
+            {
+                "op0_addr": scan.dram_addr % (1 << 24),
+                "op0_len": min(scan.num_rows * self.width, 0xFFFF),
+                "op0_stride": scan.stride,
+                "result_addr": 0,
+            },
+        )
+
+    def compute_request(self, chunk: int) -> LaunchRequest:
+        raise NotImplementedError
+
+    def _batch(self, unit_key: Tuple[int, int], chunk: int) -> List[int]:
+        queue = self._queues.get(unit_key, [])
+        start = chunk * self._blocks_per_phase
+        return queue[start : start + self._blocks_per_phase]
+
+    def load(self, unit: PIMUnit, chunk: int) -> float:
+        """Stage bitmap + column bytes of this phase's blocks into WRAM."""
+        time = 0.0
+        key = (unit.bank.device.index, unit.bank.index)
+        bank_base = unit.bank.start
+        for batch_slot, scan_index in enumerate(self._batch(key, chunk)):
+            scan, row_slice = self._scans[scan_index]
+            offsets = self._offsets(batch_slot)
+            time += unit.load_strided(
+                scan.dram_addr - bank_base,
+                scan.num_rows * self.width,
+                scan.stride,
+                scan.chunk,
+                offsets["data"],
+            )
+            time += self._load_bitmap(unit, scan, row_slice, offsets["bitmap"])
+            time += self._load_aux(unit, scan, row_slice, offsets)
+        return time
+
+    def _load_bitmap(
+        self, unit: PIMUnit, scan: BlockScan, row_slice: RowSlice, offset: int
+    ) -> float:
+        """Stage the block's snapshot-bitmap slice.
+
+        Functionally read from the device's bitmap copy; each bank keeps a
+        replica of its rows' bits (§5.2), so the modelled cost is a local
+        stream of the slice.
+        """
+        addr = self.storage.bitmap_block_slice_addr(row_slice.region, scan.block)
+        nbytes = self.storage.block_rows // 8
+        device = unit.bank.device.index
+        data = self.storage.rank.device_read(device, addr, nbytes)
+        unit.wram_write(offset, data)
+        time = stream_time(
+            nbytes, unit.timings, unit.geometry, unit.config.access_granularity
+        )
+        unit.stats.dram_bytes_read += nbytes
+        unit.stats.load_time += time
+        return time
+
+    def _load_aux(
+        self, unit: PIMUnit, scan: BlockScan, row_slice: RowSlice, offsets: Dict[str, int]
+    ) -> float:
+        """Stage operator-specific extra data; subclasses override."""
+        return 0.0
+
+    def compute(self, unit: PIMUnit, chunk: int) -> float:
+        """Run the compute phase on this phase's staged blocks."""
+        time = 0.0
+        key = (unit.bank.device.index, unit.bank.index)
+        for batch_slot, scan_index in enumerate(self._batch(key, chunk)):
+            scan, row_slice = self._scans[scan_index]
+            time += self._compute_block(unit, scan, row_slice, self._offsets(batch_slot))
+        return time
+
+    def _compute_block(
+        self, unit: PIMUnit, scan: BlockScan, row_slice: RowSlice, offsets: Dict[str, int]
+    ) -> float:
+        raise NotImplementedError
+
+
+class FilterOperation(_ColumnScanOperation):
+    """Predicate scan of one key column (Fig. 7b ``Filter``).
+
+    Produces a visibility-anded match mask per scanned block, harvested
+    into :attr:`masks` keyed by row slice.
+    """
+
+    def __init__(
+        self,
+        storage: TableStorage,
+        units: UnitIndex,
+        column: str,
+        condition: Condition,
+        rows: RegionRows,
+    ) -> None:
+        super().__init__(storage, units, column, rows)
+        self.condition = condition
+        self.masks: Dict[RowSlice, np.ndarray] = {}
+        self.cpu_transfer_bytes = 0
+
+    def compute_request(self, chunk: int) -> LaunchRequest:
+        return LaunchRequest(
+            OpType.FILTER,
+            {
+                "data_width": self.width,
+                "condition": self.condition.encode(),
+            },
+        )
+
+    def _compute_block(self, unit, scan, row_slice, offsets) -> float:
+        time = unit.op_filter(
+            offsets["bitmap"],
+            offsets["data"],
+            offsets["result"],
+            self.width,
+            self.condition,
+            scan.num_rows,
+        )
+        packed = unit.wram_read(offsets["result"], ceil_div(scan.num_rows, 8))
+        mask = np.unpackbits(packed, bitorder="little")[: scan.num_rows].astype(bool)
+        self.masks[row_slice] = mask
+        self.cpu_transfer_bytes += len(packed)
+        return time
+
+
+class GroupOperation(_ColumnScanOperation):
+    """Group-key scan (Fig. 7b ``Group``): per-block dictionaries + indices.
+
+    The CPU merges per-block dictionaries into global group ids afterwards
+    (see :func:`repro.olap.plan.merge_group_blocks`).
+    """
+
+    #: WRAM reserved for the per-block dictionary.
+    _DICT_CAPACITY = 256
+
+    def __init__(
+        self,
+        storage: TableStorage,
+        units: UnitIndex,
+        column: str,
+        rows: RegionRows,
+    ) -> None:
+        super().__init__(storage, units, column, rows)
+        self.block_dicts: Dict[RowSlice, np.ndarray] = {}
+        self.block_indices: Dict[RowSlice, np.ndarray] = {}
+        self.cpu_transfer_bytes = 0
+
+    def _aux_bytes_per_block(self) -> int:
+        return self._DICT_CAPACITY * self.width
+
+    def compute_request(self, chunk: int) -> LaunchRequest:
+        return LaunchRequest(OpType.GROUP, {"data_width": self.width})
+
+    def _compute_block(self, unit, scan, row_slice, offsets) -> float:
+        time = unit.op_group(
+            offsets["bitmap"],
+            offsets["data"],
+            offsets["aux"],
+            offsets["result"],
+            self.width,
+            scan.num_rows,
+            dict_capacity=self._DICT_CAPACITY,
+        )
+        indices = unit.wram_read(offsets["result"], scan.num_rows * 2).view(np.uint16)
+        visible = indices != 0xFFFF
+        num_groups = int(indices[visible].max()) + 1 if visible.any() else 0
+        keys_raw = unit.wram_read(offsets["aux"], num_groups * self.width)
+        from repro.pim.pim_unit import bytes_to_uints
+
+        self.block_dicts[row_slice] = bytes_to_uints(keys_raw, self.width)
+        self.block_indices[row_slice] = indices.copy()
+        self.cpu_transfer_bytes += num_groups * self.width + scan.num_rows * 2
+        return time
+
+
+class AggregationOperation(_ColumnScanOperation):
+    """Grouped sum of one value column (Fig. 7b ``Aggregation``).
+
+    ``indices`` supplies per-row *global* group ids (from a prior group
+    scan, merged by the CPU); the CPU transfers each block's index slice
+    to the bank holding that block's value column (§6.3), which is
+    modelled as aux load traffic.
+    """
+
+    def __init__(
+        self,
+        storage: TableStorage,
+        units: UnitIndex,
+        column: str,
+        rows: RegionRows,
+        indices: Mapping[RowSlice, np.ndarray],
+        num_groups: int,
+    ) -> None:
+        if num_groups <= 0:
+            raise QueryError("num_groups must be positive")
+        # Set before super().__init__: the WRAM budget depends on them.
+        self.indices = indices
+        self.num_groups = num_groups
+        super().__init__(storage, units, column, rows)
+        self.partials: Dict[RowSlice, np.ndarray] = {}
+        self.cpu_transfer_bytes = 0
+
+    def _aux_bytes_per_block(self) -> int:
+        return self.storage.block_rows * 2
+
+    def _per_block_wram_bytes(self) -> int:
+        return super()._per_block_wram_bytes() + self.num_groups * 8
+
+    def compute_request(self, chunk: int) -> LaunchRequest:
+        return LaunchRequest(OpType.AGGREGATION, {"data_width": self.width})
+
+    def _load_aux(self, unit, scan, row_slice, offsets) -> float:
+        try:
+            indices = self.indices[row_slice]
+        except KeyError:
+            raise QueryError(
+                f"no group indices for rows {row_slice} — run the group scan "
+                "over the same regions first"
+            ) from None
+        if len(indices) != scan.num_rows:
+            raise QueryError(
+                f"index slice for {row_slice} has {len(indices)} entries, "
+                f"expected {scan.num_rows}"
+            )
+        arr = np.asarray(indices, dtype=np.uint16)
+        unit.wram_write(offsets["aux"], arr.view(np.uint8))
+        self.cpu_transfer_bytes += arr.nbytes
+        # CPU→WRAM transfer rides the memory bus; modelled as a stream.
+        time = stream_time(
+            arr.nbytes, unit.timings, unit.geometry, unit.config.access_granularity
+        )
+        unit.stats.load_time += time
+        return time
+
+    def _compute_block(self, unit, scan, row_slice, offsets) -> float:
+        acc_offset = offsets["result"]
+        unit.wram_write(acc_offset, np.zeros(self.num_groups * 8, dtype=np.uint8))
+        time = unit.op_aggregation(
+            offsets["bitmap"],
+            offsets["data"],
+            offsets["aux"],
+            acc_offset,
+            self.width,
+            scan.num_rows,
+            self.num_groups,
+        )
+        partial = unit.wram_read(acc_offset, self.num_groups * 8).view(np.uint64)
+        self.partials[row_slice] = partial.copy()
+        self.cpu_transfer_bytes += partial.nbytes
+        return time
+
+    def total(self) -> np.ndarray:
+        """CPU-side merge of all per-block partial sums."""
+        out = np.zeros(self.num_groups, dtype=np.uint64)
+        for partial in self.partials.values():
+            out += partial
+        return out
+
+
+class HashOperation(_ColumnScanOperation):
+    """Key hashing for hash join (Fig. 7b ``Hash``)."""
+
+    def __init__(
+        self,
+        storage: TableStorage,
+        units: UnitIndex,
+        column: str,
+        rows: RegionRows,
+        hash_function: int = 0,
+    ) -> None:
+        super().__init__(storage, units, column, rows)
+        self.hash_function = hash_function
+        self.hashes: Dict[RowSlice, np.ndarray] = {}
+        self.values: Dict[RowSlice, np.ndarray] = {}
+        self.cpu_transfer_bytes = 0
+
+    def compute_request(self, chunk: int) -> LaunchRequest:
+        return LaunchRequest(
+            OpType.HASH,
+            {"data_width": self.width, "hash_function": self.hash_function},
+        )
+
+    def _compute_block(self, unit, scan, row_slice, offsets) -> float:
+        time = unit.op_hash(
+            offsets["bitmap"],
+            offsets["data"],
+            offsets["result"],
+            self.width,
+            scan.num_rows,
+            self.hash_function,
+        )
+        hashes = unit.wram_read(offsets["result"], scan.num_rows * 4).view(np.uint32)
+        self.hashes[row_slice] = hashes.copy()
+        from repro.pim.pim_unit import bytes_to_uints
+
+        raw = unit.wram_read(offsets["data"], scan.num_rows * self.width)
+        self.values[row_slice] = bytes_to_uints(raw, self.width)
+        self.cpu_transfer_bytes += hashes.nbytes
+        return time

@@ -1,0 +1,219 @@
+"""CPU-side glue for multi-column queries (§6.3).
+
+Multi-column operations (aggregation with GROUP BY, hash join) need CPU
+cooperation: merging per-block group dictionaries into global group ids,
+combining filter masks, and exchanging hash buckets between banks. These
+helpers do the functional work and report the CPU traffic they imply so
+the engine can convert it to time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.olap.operators import (
+    FilterOperation,
+    GroupOperation,
+    HashOperation,
+    RowSlice,
+)
+
+__all__ = [
+    "MergedGroups",
+    "merge_group_blocks",
+    "combine_masks",
+    "masks_to_indices",
+    "apply_mask_to_indices",
+    "JoinResult",
+    "hash_join",
+]
+
+#: Group index marking an invisible / filtered-out row.
+INVALID_GROUP = 0xFFFF
+
+
+@dataclass(frozen=True)
+class MergedGroups:
+    """Global group ids after the CPU merges per-block dictionaries."""
+
+    keys: np.ndarray
+    indices: Dict[RowSlice, np.ndarray]
+    cpu_bytes: int
+
+    @property
+    def num_groups(self) -> int:
+        """Number of distinct group keys."""
+        return len(self.keys)
+
+
+def merge_group_blocks(group_op: GroupOperation) -> MergedGroups:
+    """Merge a group scan's per-block dictionaries into global ids.
+
+    Each block's local indices are remapped through a global, sorted key
+    dictionary; invisible rows keep :data:`INVALID_GROUP`.
+    """
+    if not group_op.block_dicts:
+        raise QueryError("group operation has no results to merge — run it first")
+    all_keys = np.unique(
+        np.concatenate([d for d in group_op.block_dicts.values() if len(d)])
+        if any(len(d) for d in group_op.block_dicts.values())
+        else np.array([], dtype=np.uint64)
+    )
+    if len(all_keys) >= INVALID_GROUP:
+        raise QueryError(f"too many groups ({len(all_keys)}) for 2-byte indices")
+    merged: Dict[RowSlice, np.ndarray] = {}
+    cpu_bytes = 0
+    for row_slice, local in group_op.block_indices.items():
+        local_keys = group_op.block_dicts[row_slice]
+        out = np.full(len(local), INVALID_GROUP, dtype=np.uint16)
+        valid = local != INVALID_GROUP
+        if valid.any() and len(local_keys):
+            remap = np.searchsorted(all_keys, local_keys).astype(np.uint16)
+            out[valid] = remap[local[valid]]
+        merged[row_slice] = out
+        cpu_bytes += local.nbytes + local_keys.nbytes
+    return MergedGroups(all_keys, merged, cpu_bytes)
+
+
+def combine_masks(
+    filters: Sequence[FilterOperation],
+) -> Tuple[Dict[RowSlice, np.ndarray], int]:
+    """AND the masks of several filter scans over identical row slices."""
+    if not filters:
+        raise QueryError("combine_masks needs at least one filter")
+    slices = set(filters[0].masks)
+    for f in filters[1:]:
+        if set(f.masks) != slices:
+            raise QueryError("filters cover different row slices; cannot combine")
+    combined: Dict[RowSlice, np.ndarray] = {}
+    cpu_bytes = 0
+    for row_slice in slices:
+        mask = filters[0].masks[row_slice].copy()
+        for f in filters[1:]:
+            mask &= f.masks[row_slice]
+        combined[row_slice] = mask
+        cpu_bytes += sum(-(-len(mask) // 8) for _ in filters)
+    return combined, cpu_bytes
+
+
+def masks_to_indices(
+    masks: Mapping[RowSlice, np.ndarray], group: int = 0
+) -> Dict[RowSlice, np.ndarray]:
+    """Turn boolean masks into single-group aggregation indices.
+
+    Matching rows get group ``group``; others :data:`INVALID_GROUP` —
+    filtered aggregation without a GROUP BY is the one-group case.
+    """
+    out: Dict[RowSlice, np.ndarray] = {}
+    for row_slice, mask in masks.items():
+        indices = np.full(len(mask), INVALID_GROUP, dtype=np.uint16)
+        indices[mask] = group
+        out[row_slice] = indices
+    return out
+
+
+def apply_mask_to_indices(
+    indices: Mapping[RowSlice, np.ndarray],
+    masks: Mapping[RowSlice, np.ndarray],
+) -> Dict[RowSlice, np.ndarray]:
+    """Invalidate group indices of rows a filter rejected."""
+    out: Dict[RowSlice, np.ndarray] = {}
+    for row_slice, idx in indices.items():
+        if row_slice not in masks:
+            raise QueryError(f"mask missing for rows {row_slice}")
+        masked = idx.copy()
+        masked[~masks[row_slice]] = INVALID_GROUP
+        out[row_slice] = masked
+    return out
+
+
+@dataclass(frozen=True)
+class JoinResult:
+    """Outcome of a hash join between two scanned key columns.
+
+    ``probe_masks`` marks which probe-side rows matched (usable as a
+    filter for a follow-up aggregation); ``build_masks_out`` marks build
+    rows with at least one probe match (semi-join the other way);
+    ``matches`` counts join pairs.
+    """
+
+    probe_masks: Dict[RowSlice, np.ndarray]
+    matches: int
+    cpu_bytes: int
+    pim_elements: int
+    build_masks_out: Dict[RowSlice, np.ndarray] = None
+
+    @property
+    def matched_build_rows(self) -> int:
+        """Build rows with at least one probe match."""
+        if not self.build_masks_out:
+            return 0
+        return int(sum(m.sum() for m in self.build_masks_out.values()))
+
+
+def hash_join(
+    build: HashOperation,
+    probe: HashOperation,
+    num_buckets: int = 64,
+    build_masks: Optional[Mapping[RowSlice, np.ndarray]] = None,
+) -> JoinResult:
+    """Join two hash scans following the bucket division of §6.3 / [38].
+
+    The CPU fetches both sides' hashes, divides them into ``num_buckets``
+    buckets, and hands each bucket pair to PIM units; here the per-bucket
+    match is done functionally on the CPU side while ``pim_elements``
+    carries the modelled PIM join workload (the engine converts it to
+    time using the join cycle cost).
+
+    Hash collisions are resolved against the staged key values, so the
+    result is exact. ``build_masks`` optionally restricts the build side
+    to rows passing an earlier filter (e.g. Q9's item predicate).
+    """
+    if num_buckets <= 0:
+        raise QueryError("num_buckets must be positive")
+    build_keys: Dict[int, set] = {}
+    cpu_bytes = 0
+    pim_elements = 0
+    for row_slice, hashes in build.hashes.items():
+        values = build.values[row_slice]
+        cpu_bytes += hashes.nbytes
+        mask = build_masks.get(row_slice) if build_masks is not None else None
+        if build_masks is not None and mask is None:
+            raise QueryError(f"build mask missing for rows {row_slice}")
+        for i, (h, v) in enumerate(zip(hashes, values)):
+            if h == 0 or (mask is not None and not mask[i]):
+                continue
+            build_keys.setdefault(int(h) % num_buckets, set()).add(int(v))
+            pim_elements += 1
+    probe_masks: Dict[RowSlice, np.ndarray] = {}
+    matched_values: set = set()
+    matches = 0
+    for row_slice, hashes in probe.hashes.items():
+        values = probe.values[row_slice]
+        cpu_bytes += hashes.nbytes
+        mask = np.zeros(len(hashes), dtype=bool)
+        for i, (h, v) in enumerate(zip(hashes, values)):
+            if h == 0:
+                continue
+            pim_elements += 1
+            bucket = build_keys.get(int(h) % num_buckets)
+            if bucket is not None and int(v) in bucket:
+                mask[i] = True
+                matches += 1
+                matched_values.add(int(v))
+        probe_masks[row_slice] = mask
+    build_masks_out: Dict[RowSlice, np.ndarray] = {}
+    for row_slice, hashes in build.hashes.items():
+        values = build.values[row_slice]
+        in_mask = build_masks.get(row_slice) if build_masks is not None else None
+        out = np.zeros(len(hashes), dtype=bool)
+        for i, (h, v) in enumerate(zip(hashes, values)):
+            if h == 0 or (in_mask is not None and not in_mask[i]):
+                continue
+            out[i] = int(v) in matched_values
+        build_masks_out[row_slice] = out
+    return JoinResult(probe_masks, matches, cpu_bytes, pim_elements, build_masks_out)

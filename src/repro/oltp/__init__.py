@@ -1,0 +1,1 @@
+"""PUSHtap reproduction subpackage."""

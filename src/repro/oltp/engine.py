@@ -1,0 +1,309 @@
+"""The OLTP engine: transaction execution with a per-phase cost model.
+
+Transactions run *functionally* against the MVCC tables (real reads,
+updates, inserts) while a cost model accumulates the Fig. 11c breakdown:
+indexing, memory allocation, computation, version-chain traversal, memory
+access (format-dependent — this is where RS/CS/PUSHtap differ, Fig. 9a),
+data re-layout (unified format only), and the commit-time ``clflush`` +
+barrier that keeps DRAM fresh for the OLAP engine (§6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Optional, Sequence, Tuple
+
+from repro.core.config import SystemConfig
+from repro.core.database import Database
+from repro.errors import TransactionAborted, TransactionError
+from repro.format.schema import Value
+from repro.oltp.formats import AccessFormatModel
+from repro.pim.timing import random_line_time
+
+__all__ = ["CostParams", "TxnBreakdown", "TxnResult", "OLTPEngine", "TxnContext"]
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Tunable cost constants of the transaction model (all ns).
+
+    Defaults are calibrated so the Fig. 11c proportions hold: indexing,
+    allocation, and computation dominate; version-chain traversal is
+    < 0.1 % (§7.4).
+    """
+
+    index_compute_ns: float = 150.0
+    alloc_ns: float = 400.0
+    compute_per_op_ns: float = 350.0
+    chain_entry_ns: float = 2.0
+    relayout_per_byte_ns: float = 0.25
+    flush_per_line_ns: float = 25.0
+    commit_barrier_ns: float = 30.0
+
+
+@dataclass
+class TxnBreakdown:
+    """Per-phase time of one transaction (Fig. 11c)."""
+
+    index: float = 0.0
+    alloc: float = 0.0
+    compute: float = 0.0
+    chain: float = 0.0
+    memory: float = 0.0
+    relayout: float = 0.0
+    flush: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total transaction time."""
+        return (
+            self.index
+            + self.alloc
+            + self.compute
+            + self.chain
+            + self.memory
+            + self.relayout
+            + self.flush
+        )
+
+    def merge(self, other: "TxnBreakdown") -> "TxnBreakdown":
+        """Sum two breakdowns."""
+        return TxnBreakdown(
+            self.index + other.index,
+            self.alloc + other.alloc,
+            self.compute + other.compute,
+            self.chain + other.chain,
+            self.memory + other.memory,
+            self.relayout + other.relayout,
+            self.flush + other.flush,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Breakdown as a name → time mapping."""
+        return {
+            "index": self.index,
+            "alloc": self.alloc,
+            "compute": self.compute,
+            "chain": self.chain,
+            "memory": self.memory,
+            "relayout": self.relayout,
+            "flush": self.flush,
+        }
+
+
+@dataclass
+class TxnResult:
+    """Outcome of one committed (or aborted) transaction."""
+
+    ts: int
+    breakdown: TxnBreakdown
+    rows_read: int = 0
+    rows_written: int = 0
+    aborted: bool = False
+    #: Optional value a read-only transaction computed (``ctx.result``).
+    value: object = None
+
+    @property
+    def total_time(self) -> float:
+        """Total transaction latency in ns."""
+        return self.breakdown.total
+
+
+class TxnContext:
+    """Operations available to a running transaction."""
+
+    def __init__(self, engine: "OLTPEngine", ts: int) -> None:
+        self.engine = engine
+        self.ts = ts
+        self.breakdown = TxnBreakdown()
+        self.rows_read = 0
+        self.rows_written = 0
+        self._written_lines = 0
+        self._undo: list = []
+        #: Read-only transactions may publish a computed value here.
+        self.result: object = None
+
+    # ------------------------------------------------------------------
+    # Index operations
+    # ------------------------------------------------------------------
+    def index_lookup(self, index: str, key: Hashable) -> int:
+        """Probe an index; raises if the key is absent."""
+        result = self.engine.db.index(index).probe(key)
+        self.breakdown.index += (
+            self.engine.cost.index_compute_ns + result.lines * self.engine.line_ns
+        )
+        if not result.found:
+            raise TransactionError(f"index {index!r}: key {key!r} not found")
+        return result.row_id
+
+    def index_insert(self, index: str, key: Hashable, row_id: int) -> None:
+        """Insert into an index."""
+        lines = self.engine.db.index(index).insert(key, row_id)
+        self.breakdown.index += self.engine.cost.index_compute_ns + lines * self.engine.line_ns
+
+    # ------------------------------------------------------------------
+    # Row operations
+    # ------------------------------------------------------------------
+    def read(
+        self, table: str, row_id: int, columns: Optional[Sequence[str]] = None
+    ) -> Dict[str, Value]:
+        """Read the visible version of a row (optionally partial)."""
+        runtime = self.engine.db.table(table)
+        self.breakdown.chain += (
+            runtime.mvcc.chain_length(row_id) * self.engine.cost.chain_entry_ns
+        )
+        row = runtime.read_row(row_id, self.ts)
+        self._account_access(table, columns, write=False)
+        self.breakdown.compute += self.engine.cost.compute_per_op_ns
+        self.rows_read += 1
+        if columns is None:
+            return row
+        return {c: row[c] for c in columns}
+
+    def update(self, table: str, row_id: int, changes: Dict[str, Value]) -> None:
+        """Install a new version of a row with ``changes``."""
+        runtime = self.engine.db.table(table)
+        self.breakdown.chain += (
+            runtime.mvcc.chain_length(row_id) * self.engine.cost.chain_entry_ns
+        )
+        self.breakdown.alloc += self.engine.cost.alloc_ns
+        runtime.update_row(row_id, self.ts, changes)
+        self._undo.append(lambda: runtime.mvcc.undo_update(row_id))
+        # Writing a version writes the whole row (new delta row).
+        self._account_access(table, None, write=True)
+        self.breakdown.compute += self.engine.cost.compute_per_op_ns
+        self.rows_written += 1
+
+    def insert(
+        self,
+        table: str,
+        values: Dict[str, Value],
+        index_key: Optional[Tuple[str, Hashable]] = None,
+    ) -> int:
+        """Append a row, optionally registering it in an index."""
+        runtime = self.engine.db.table(table)
+        self.breakdown.alloc += self.engine.cost.alloc_ns
+        row_id = runtime.insert_row(self.ts, values)
+        self._undo.append(lambda: runtime.mvcc.undo_insert(row_id))
+        self._account_access(table, None, write=True)
+        self.breakdown.compute += self.engine.cost.compute_per_op_ns
+        self.rows_written += 1
+        if index_key is not None:
+            self.index_insert(index_key[0], index_key[1], row_id)
+            index = self.engine.db.index(index_key[0])
+            self._undo.append(lambda: index.remove(index_key[1]))
+        return row_id
+
+    def delete(self, table: str, row_id: int, index_key: Optional[Tuple[str, Hashable]] = None) -> None:
+        """Tombstone a row, optionally removing its index entry."""
+        runtime = self.engine.db.table(table)
+        self.breakdown.chain += (
+            runtime.mvcc.chain_length(row_id) * self.engine.cost.chain_entry_ns
+        )
+        runtime.mvcc.delete(row_id, self.ts)
+        self._undo.append(lambda: runtime.mvcc.undo_delete(row_id))
+        self._account_access(table, None, write=True)
+        self.breakdown.compute += self.engine.cost.compute_per_op_ns
+        self.rows_written += 1
+        if index_key is not None:
+            lines = self.engine.db.index(index_key[0]).remove(index_key[1])
+            self.breakdown.index += (
+                self.engine.cost.index_compute_ns + lines * self.engine.line_ns
+            )
+
+    def abort(self, reason: str = "") -> None:
+        """Abort the transaction; the engine rolls back its writes."""
+        raise TransactionAborted(reason or "transaction aborted")
+
+    def rollback(self) -> None:
+        """Undo every write of this transaction, newest first."""
+        while self._undo:
+            self._undo.pop()()
+        self._written_lines = 0
+
+    def _account_access(
+        self, table: str, columns: Optional[Sequence[str]], write: bool
+    ) -> None:
+        model = self.engine.format_model
+        lines = model.lines_for_row(table, columns)
+        self.breakdown.memory += lines * self.engine.line_ns
+        self.breakdown.relayout += (
+            model.relayout_bytes(table, columns) * self.engine.cost.relayout_per_byte_ns
+        )
+        if write:
+            self._written_lines += lines
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+    def commit(self) -> TxnResult:
+        """Flush written lines + memory barrier (§6.3) and finish."""
+        self.breakdown.flush += (
+            self._written_lines * self.engine.cost.flush_per_line_ns
+            + self.engine.cost.commit_barrier_ns
+        )
+        return TxnResult(
+            ts=self.ts,
+            breakdown=self.breakdown,
+            rows_read=self.rows_read,
+            rows_written=self.rows_written,
+            value=self.result,
+        )
+
+
+class OLTPEngine:
+    """Executes transactions against a database under a format model."""
+
+    def __init__(
+        self,
+        db: Database,
+        format_model: AccessFormatModel,
+        config: SystemConfig,
+        cost: CostParams = CostParams(),
+    ) -> None:
+        self.db = db
+        self.format_model = format_model
+        self.config = config
+        self.cost = cost
+        #: Modelled latency of one random cache-line access.
+        self.line_ns = random_line_time(1, config.timings)
+        self.committed = 0
+        self.aborted = 0
+        self.total_time = 0.0
+        self.breakdown = TxnBreakdown()
+
+    def execute(self, txn: Callable[[TxnContext], None]) -> TxnResult:
+        """Run ``txn`` to commit; returns its timing.
+
+        A :class:`TransactionAborted` raised inside the transaction (via
+        ``ctx.abort()`` or a business rule) rolls back every write and
+        returns an aborted result; any other exception also rolls back
+        but propagates (failure injection keeps the database consistent).
+        """
+        ts = self.db.oracle.next_timestamp()
+        ctx = TxnContext(self, ts)
+        try:
+            txn(ctx)
+        except TransactionAborted:
+            ctx.rollback()
+            self.aborted += 1
+            return TxnResult(
+                ts=ts,
+                breakdown=ctx.breakdown,
+                rows_read=ctx.rows_read,
+                rows_written=0,
+                aborted=True,
+            )
+        except Exception:
+            ctx.rollback()
+            raise
+        result = ctx.commit()
+        self.committed += 1
+        self.total_time += result.total_time
+        self.breakdown = self.breakdown.merge(result.breakdown)
+        return result
+
+    @property
+    def mean_txn_time(self) -> float:
+        """Average committed-transaction latency in ns."""
+        return self.total_time / self.committed if self.committed else 0.0

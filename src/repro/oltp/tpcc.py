@@ -1,0 +1,466 @@
+"""TPC-C transactions: Payment, New-Order, and Delivery (§7.1).
+
+The paper simulates the two transaction types that make up ~90 % of the
+TPC-C mix (Payment and New-Order) on a DBx1000-style MVCC engine; this
+reproduction adds Delivery as an extension since it exercises the MVCC
+delete path and NEWORDER index removal. The :class:`TPCCDriver`
+generates parameter sets consistent with the deterministic data
+generator's key assignment and produces transaction closures for
+:meth:`repro.oltp.engine.OLTPEngine.execute`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import TransactionError
+from repro.oltp.engine import TxnContext
+from repro.workloads.tpcc_gen import DATE_EPOCH, DATE_HORIZON
+
+__all__ = [
+    "PaymentParams",
+    "NewOrderParams",
+    "DeliveryOrder",
+    "DeliveryParams",
+    "OrderStatusParams",
+    "StockLevelParams",
+    "TPCCDriver",
+    "payment",
+    "new_order",
+    "delivery",
+    "order_status",
+    "stock_level",
+    "INDEX_NAMES",
+]
+
+#: Index names the transactions expect the database to provide.
+INDEX_NAMES = (
+    "warehouse_pk",
+    "district_pk",
+    "customer_pk",
+    "item_pk",
+    "stock_pk",
+    "order_pk",
+    "neworder_pk",
+    "orderline_pk",
+)
+
+
+@dataclass(frozen=True)
+class PaymentParams:
+    """Inputs of one Payment transaction."""
+
+    w_id: int
+    d_id: int
+    c_id: int
+    amount: int
+    h_date: int
+
+
+@dataclass(frozen=True)
+class NewOrderParams:
+    """Inputs of one New-Order transaction."""
+
+    w_id: int
+    d_id: int
+    c_id: int
+    o_id: int
+    entry_d: int
+    item_ids: List[int]
+    supply_w_ids: List[int]
+    quantities: List[int]
+
+
+def payment(params: PaymentParams) -> Callable[[TxnContext], None]:
+    """Build the Payment transaction closure (TPC-C §2.5)."""
+
+    def txn(ctx: TxnContext) -> None:
+        w_row = ctx.index_lookup("warehouse_pk", params.w_id)
+        warehouse = ctx.read("warehouse", w_row, ["w_ytd", "w_tax"])
+        ctx.update("warehouse", w_row, {"w_ytd": warehouse["w_ytd"] + params.amount})
+
+        d_row = ctx.index_lookup("district_pk", (params.w_id, params.d_id))
+        district = ctx.read("district", d_row, ["d_ytd", "d_tax"])
+        ctx.update("district", d_row, {"d_ytd": district["d_ytd"] + params.amount})
+
+        c_row = ctx.index_lookup(
+            "customer_pk", (params.w_id, params.d_id, params.c_id)
+        )
+        customer = ctx.read(
+            "customer", c_row, ["c_balance", "c_ytd_payment", "c_payment_cnt"]
+        )
+        new_balance = max(0, customer["c_balance"] - params.amount)
+        ctx.update(
+            "customer",
+            c_row,
+            {
+                "c_balance": new_balance,
+                "c_ytd_payment": customer["c_ytd_payment"] + params.amount,
+                "c_payment_cnt": customer["c_payment_cnt"] + 1,
+            },
+        )
+        ctx.insert(
+            "history",
+            {
+                "h_c_id": params.c_id,
+                "h_c_d_id": params.d_id,
+                "h_c_w_id": params.w_id,
+                "h_d_id": params.d_id,
+                "h_w_id": params.w_id,
+                "h_date": params.h_date,
+                "h_amount": params.amount,
+                "h_data": b"payment",
+            },
+        )
+
+    return txn
+
+
+def new_order(params: NewOrderParams) -> Callable[[TxnContext], None]:
+    """Build the New-Order transaction closure (TPC-C §2.4)."""
+    if not (len(params.item_ids) == len(params.supply_w_ids) == len(params.quantities)):
+        raise TransactionError("new_order: item/supply/quantity lengths differ")
+
+    def txn(ctx: TxnContext) -> None:
+        w_row = ctx.index_lookup("warehouse_pk", params.w_id)
+        ctx.read("warehouse", w_row, ["w_tax"])
+        d_row = ctx.index_lookup("district_pk", (params.w_id, params.d_id))
+        district = ctx.read("district", d_row, ["d_tax", "d_next_o_id"])
+        ctx.update("district", d_row, {"d_next_o_id": district["d_next_o_id"] + 1})
+        c_row = ctx.index_lookup(
+            "customer_pk", (params.w_id, params.d_id, params.c_id)
+        )
+        ctx.read("customer", c_row, ["c_discount", "c_credit"])
+
+        order_row = ctx.insert(
+            "order",
+            {
+                "o_id": params.o_id,
+                "o_d_id": params.d_id,
+                "o_w_id": params.w_id,
+                "o_c_id": params.c_id,
+                "o_entry_d": params.entry_d,
+                "o_carrier_id": 0,
+                "o_ol_cnt": len(params.item_ids),
+                "o_all_local": int(all(s == params.w_id for s in params.supply_w_ids)),
+            },
+            index_key=("order_pk", params.o_id),
+        )
+        del order_row
+        ctx.insert(
+            "neworder",
+            {"no_o_id": params.o_id, "no_d_id": params.d_id, "no_w_id": params.w_id},
+            index_key=("neworder_pk", params.o_id),
+        )
+        for number, (i_id, s_w, qty) in enumerate(
+            zip(params.item_ids, params.supply_w_ids, params.quantities), start=1
+        ):
+            i_row = ctx.index_lookup("item_pk", i_id)
+            item = ctx.read("item", i_row, ["i_price"])
+            s_row = ctx.index_lookup("stock_pk", (s_w, i_id))
+            stock = ctx.read("stock", s_row, ["s_quantity", "s_ytd", "s_order_cnt"])
+            new_qty = stock["s_quantity"] - qty
+            if new_qty < 10:
+                new_qty += 91
+            ctx.update(
+                "stock",
+                s_row,
+                {
+                    "s_quantity": new_qty,
+                    "s_ytd": stock["s_ytd"] + qty,
+                    "s_order_cnt": stock["s_order_cnt"] + 1,
+                },
+            )
+            ctx.insert(
+                "orderline",
+                {
+                    "ol_o_id": params.o_id,
+                    "ol_d_id": params.d_id,
+                    "ol_w_id": params.w_id,
+                    "ol_number": number,
+                    "ol_i_id": i_id,
+                    "ol_supply_w_id": s_w,
+                    "ol_delivery_d": params.entry_d,
+                    "ol_quantity": qty,
+                    "ol_amount": qty * item["i_price"],
+                    "ol_dist_info": b"neworder",
+                },
+                index_key=("orderline_pk", (params.o_id, number)),
+            )
+
+    return txn
+
+
+@dataclass(frozen=True)
+class DeliveryOrder:
+    """One undelivered order a Delivery transaction processes."""
+
+    o_id: int
+    w_id: int
+    d_id: int
+    c_id: int
+    ol_cnt: int
+
+
+@dataclass(frozen=True)
+class DeliveryParams:
+    """Inputs of one Delivery transaction (simplified: a batch of pending
+    new orders rather than per-district oldest-order selection)."""
+
+    carrier_id: int
+    delivery_d: int
+    orders: List[DeliveryOrder]
+
+
+def delivery(params: DeliveryParams) -> Callable[[TxnContext], None]:
+    """Build the Delivery transaction closure (TPC-C §2.7, simplified).
+
+    For each pending order: delete its NEWORDER row (tombstone + index
+    removal), stamp the ORDER with the carrier, set every ORDERLINE's
+    delivery date, and credit the customer's balance.
+    """
+
+    def txn(ctx: TxnContext) -> None:
+        for order in params.orders:
+            no_row = ctx.index_lookup("neworder_pk", order.o_id)
+            ctx.delete("neworder", no_row, index_key=("neworder_pk", order.o_id))
+            o_row = ctx.index_lookup("order_pk", order.o_id)
+            ctx.read("order", o_row, ["o_c_id", "o_ol_cnt"])
+            ctx.update("order", o_row, {"o_carrier_id": params.carrier_id})
+            amount = 0
+            for number in range(1, order.ol_cnt + 1):
+                ol_row = ctx.index_lookup("orderline_pk", (order.o_id, number))
+                line = ctx.read("orderline", ol_row, ["ol_amount"])
+                amount += line["ol_amount"]
+                ctx.update("orderline", ol_row, {"ol_delivery_d": params.delivery_d})
+            c_row = ctx.index_lookup(
+                "customer_pk", (order.w_id, order.d_id, order.c_id)
+            )
+            customer = ctx.read("customer", c_row, ["c_balance", "c_delivery_cnt"])
+            ctx.update(
+                "customer",
+                c_row,
+                {
+                    "c_balance": customer["c_balance"] + amount,
+                    "c_delivery_cnt": customer["c_delivery_cnt"] + 1,
+                },
+            )
+
+    return txn
+
+
+@dataclass(frozen=True)
+class OrderStatusParams:
+    """Inputs of one Order-Status transaction (read-only)."""
+
+    w_id: int
+    d_id: int
+    c_id: int
+    o_id: int
+    ol_cnt: int
+
+
+def order_status(params: OrderStatusParams) -> Callable[[TxnContext], None]:
+    """Build the Order-Status transaction closure (TPC-C §2.6, read-only).
+
+    Reads the customer, their most recent order, and that order's lines.
+    """
+
+    def txn(ctx: TxnContext) -> None:
+        c_row = ctx.index_lookup(
+            "customer_pk", (params.w_id, params.d_id, params.c_id)
+        )
+        ctx.read("customer", c_row, ["c_balance", "c_first", "c_last"])
+        o_row = ctx.index_lookup("order_pk", params.o_id)
+        ctx.read("order", o_row, ["o_entry_d", "o_carrier_id"])
+        for number in range(1, params.ol_cnt + 1):
+            ol_row = ctx.index_lookup("orderline_pk", (params.o_id, number))
+            ctx.read(
+                "orderline",
+                ol_row,
+                ["ol_i_id", "ol_supply_w_id", "ol_quantity", "ol_amount", "ol_delivery_d"],
+            )
+
+    return txn
+
+
+@dataclass(frozen=True)
+class StockLevelParams:
+    """Inputs of one Stock-Level transaction (read-only, simplified)."""
+
+    w_id: int
+    d_id: int
+    threshold: int
+    recent_orders: List[DeliveryOrder]
+
+
+def stock_level(params: StockLevelParams) -> Callable[[TxnContext], None]:
+    """Build the Stock-Level transaction closure (TPC-C §2.8, simplified).
+
+    Counts distinct items of the district's recent orders whose stock
+    quantity is below the threshold. The recent-order window comes from
+    the driver (we have no ordered secondary index over orders).
+    """
+
+    def txn(ctx: TxnContext) -> None:
+        d_row = ctx.index_lookup("district_pk", (params.w_id, params.d_id))
+        ctx.read("district", d_row, ["d_next_o_id"])
+        low = set()
+        for order in params.recent_orders:
+            for number in range(1, order.ol_cnt + 1):
+                ol_row = ctx.index_lookup("orderline_pk", (order.o_id, number))
+                line = ctx.read("orderline", ol_row, ["ol_i_id", "ol_supply_w_id"])
+                s_row = ctx.index_lookup(
+                    "stock_pk", (line["ol_supply_w_id"], line["ol_i_id"])
+                )
+                stock = ctx.read("stock", s_row, ["s_quantity"])
+                if stock["s_quantity"] < params.threshold:
+                    low.add(line["ol_i_id"])
+        ctx.result = len(low)
+
+    return txn
+
+
+class TPCCDriver:
+    """Generates parameter sets consistent with the data generator.
+
+    ``payment_fraction`` controls the Payment/New-Order mix (TPC-C's
+    nominal mix is roughly even between them once the other three
+    transaction types are excluded — the paper simulates exactly these
+    two, §7.1). ``delivery_fraction`` optionally adds Delivery
+    transactions draining the orders this driver previously generated.
+    """
+
+    def __init__(
+        self,
+        counts: Dict[str, int],
+        seed: int = 11,
+        payment_fraction: float = 0.5,
+        delivery_fraction: float = 0.0,
+        max_order_lines: int = 15,
+        delivery_batch: int = 5,
+    ) -> None:
+        if not 0.0 <= payment_fraction <= 1.0:
+            raise TransactionError("payment_fraction must be in [0, 1]")
+        if not 0.0 <= delivery_fraction <= 1.0 - payment_fraction:
+            raise TransactionError(
+                "delivery_fraction must fit in the remaining mix share"
+            )
+        self.counts = dict(counts)
+        self.rng = np.random.RandomState(seed)
+        self.payment_fraction = payment_fraction
+        self.delivery_fraction = delivery_fraction
+        self.max_order_lines = max_order_lines
+        self.delivery_batch = delivery_batch
+        self._undelivered: List[DeliveryOrder] = []
+        #: Orders created by this driver (known exact line counts), kept
+        #: for the read-only Order-Status / Stock-Level transactions.
+        self._recent_orders: List[DeliveryOrder] = []
+        # New order ids must not collide with any preloaded order or
+        # new-order key (the generator assigns 1..N in both tables).
+        self._next_o_id = max(counts["order"], counts["neworder"]) + 1
+
+    # -- key derivation matching repro.workloads.tpcc_gen ----------------
+    def _random_customer(self) -> tuple:
+        i = int(self.rng.randint(0, self.counts["customer"]))
+        w = i % self.counts["warehouse"] + 1
+        d = i % 10 + 1
+        return w, d, i + 1
+
+    def _random_item(self) -> int:
+        return int(self.rng.randint(1, self.counts["item"] + 1))
+
+    def _supply_warehouse(self, i_id: int) -> int:
+        return (i_id - 1) % self.counts["warehouse"] + 1
+
+    # -- parameter generation --------------------------------------------
+    def next_payment(self) -> PaymentParams:
+        """Generate one Payment parameter set."""
+        w, d, c = self._random_customer()
+        return PaymentParams(
+            w_id=w,
+            d_id=d,
+            c_id=c,
+            amount=int(self.rng.randint(1, 5000)),
+            h_date=int(self.rng.randint(DATE_EPOCH, DATE_HORIZON)),
+        )
+
+    def next_new_order(self) -> NewOrderParams:
+        """Generate one New-Order parameter set."""
+        w, d, c = self._random_customer()
+        ol_cnt = int(self.rng.randint(5, self.max_order_lines + 1))
+        items = sorted({self._random_item() for _ in range(ol_cnt)})
+        o_id = self._next_o_id
+        self._next_o_id += 1
+        params = NewOrderParams(
+            w_id=w,
+            d_id=d,
+            c_id=c,
+            o_id=o_id,
+            entry_d=int(self.rng.randint(DATE_EPOCH, DATE_HORIZON)),
+            item_ids=items,
+            supply_w_ids=[self._supply_warehouse(i) for i in items],
+            quantities=[int(self.rng.randint(1, 11)) for _ in items],
+        )
+        record = DeliveryOrder(o_id=o_id, w_id=w, d_id=d, c_id=c, ol_cnt=len(items))
+        self._undelivered.append(record)
+        self._recent_orders.append(record)
+        if len(self._recent_orders) > 100:
+            self._recent_orders.pop(0)
+        return params
+
+    def next_order_status(self) -> Optional[OrderStatusParams]:
+        """Generate an Order-Status over an order this driver created."""
+        if not self._recent_orders:
+            return None
+        order = self._recent_orders[int(self.rng.randint(0, len(self._recent_orders)))]
+        return OrderStatusParams(
+            w_id=order.w_id,
+            d_id=order.d_id,
+            c_id=order.c_id,
+            o_id=order.o_id,
+            ol_cnt=order.ol_cnt,
+        )
+
+    def next_stock_level(self, window: int = 5) -> Optional[StockLevelParams]:
+        """Generate a Stock-Level over this driver's most recent orders."""
+        if not self._recent_orders:
+            return None
+        recent = self._recent_orders[-window:]
+        return StockLevelParams(
+            w_id=recent[-1].w_id,
+            d_id=recent[-1].d_id,
+            threshold=int(self.rng.randint(10, 60)),
+            recent_orders=recent,
+        )
+
+    def next_delivery(self) -> Optional[DeliveryParams]:
+        """Generate a Delivery over pending new orders (None if none)."""
+        if not self._undelivered:
+            return None
+        batch = self._undelivered[: self.delivery_batch]
+        del self._undelivered[: len(batch)]
+        return DeliveryParams(
+            carrier_id=int(self.rng.randint(1, 11)),
+            delivery_d=int(self.rng.randint(DATE_EPOCH, DATE_HORIZON)),
+            orders=batch,
+        )
+
+    @property
+    def pending_deliveries(self) -> int:
+        """New orders generated by this driver but not yet delivered."""
+        return len(self._undelivered)
+
+    def next_transaction(self) -> Callable[[TxnContext], None]:
+        """Generate the next transaction of the mix."""
+        draw = self.rng.random_sample()
+        if draw < self.payment_fraction:
+            return payment(self.next_payment())
+        if draw < self.payment_fraction + self.delivery_fraction:
+            params = self.next_delivery()
+            if params is not None:
+                return delivery(params)
+        return new_order(self.next_new_order())

@@ -1,0 +1,28 @@
+"""The PIM hardware substrate: devices, timing, units, controllers."""
+
+from repro.pim.device import Bank, Device
+from repro.pim.memory import Rank, interleaved_to_local, local_to_interleaved
+from repro.pim.pim_unit import PIMUnit, Condition, bytes_to_uints, uints_to_bytes
+from repro.pim.requests import LaunchRequest, OpType, encode_launch, decode_launch
+from repro.pim.controller import OriginalController, PushTapController
+from repro.pim.executor import TwoPhaseExecutor, ExecutionResult
+
+__all__ = [
+    "Bank",
+    "Device",
+    "Rank",
+    "interleaved_to_local",
+    "local_to_interleaved",
+    "PIMUnit",
+    "Condition",
+    "bytes_to_uints",
+    "uints_to_bytes",
+    "LaunchRequest",
+    "OpType",
+    "encode_launch",
+    "decode_launch",
+    "OriginalController",
+    "PushTapController",
+    "TwoPhaseExecutor",
+    "ExecutionResult",
+]

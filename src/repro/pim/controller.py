@@ -1,0 +1,214 @@
+"""Memory controller models (§6.1, Fig. 7a).
+
+Two controller variants are modelled:
+
+* :class:`OriginalController` — the commercial general-purpose PIM
+  architecture: to offload a task the CPU messages every PIM unit
+  individually and then polls each until done (tens of microseconds across
+  a server, §2.1), and DRAM banks stay locked for the whole offload.
+* :class:`PushTapController` — the paper's extension: a *scheduler*
+  recognizes launch/poll requests disguised as accesses to a special
+  physical address and broadcasts to the units itself; a *polling module*
+  polls the units and answers the CPU's poll read. Bank control is handed
+  over only for ``LS``/``Defragment`` operations, so compute phases run
+  concurrently with normal CPU access.
+
+Both variants expose the same interface, so the two-phase executor
+(:mod:`repro.pim.executor`) can run on either and Fig. 12b falls out of
+swapping the controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.config import SystemConfig
+from repro.errors import ProtocolError
+from repro.pim.pim_unit import PIMUnit
+from repro.pim.requests import LaunchRequest, decode_launch
+
+__all__ = [
+    "ControlCost",
+    "ControllerStats",
+    "OriginalController",
+    "PushTapController",
+    "SPECIAL_ADDRESS",
+]
+
+#: Default special physical address chosen from the unused DRAM range
+#: (preconfigured at boot, §6.1).
+SPECIAL_ADDRESS = 0xFFFF_F000
+
+
+@dataclass(frozen=True)
+class ControlCost:
+    """Cost of one control interaction with the PIM units.
+
+    ``cpu_time`` is time the CPU itself spends issuing/receiving control
+    traffic; ``handover_time`` is the bank-control mode switch paid before
+    PIM units may touch DRAM (zero for WRAM-only compute phases under
+    PUSHtap).
+    """
+
+    cpu_time: float
+    handover_time: float
+
+    @property
+    def total(self) -> float:
+        """Total control latency on the critical path."""
+        return self.cpu_time + self.handover_time
+
+
+@dataclass
+class ControllerStats:
+    """Counters accumulated by a controller."""
+
+    launches: int = 0
+    polls: int = 0
+    handovers: int = 0
+    control_time: float = 0.0
+
+
+class _ControllerBase:
+    """Shared bookkeeping of both controller variants."""
+
+    #: Whether DRAM banks stay locked while PIM units compute.
+    locks_banks_during_compute: bool = True
+
+    def __init__(self, config: SystemConfig, units: Sequence[PIMUnit]) -> None:
+        self.config = config
+        self.units: List[PIMUnit] = list(units)
+        self.stats = ControllerStats()
+
+    @property
+    def num_units(self) -> int:
+        """Number of PIM units under this controller."""
+        return len(self.units)
+
+    @property
+    def num_ranks(self) -> int:
+        """Number of PIM ranks under this controller."""
+        units_per_rank = self.config.pim.units_per_rank
+        return max(1, -(-self.num_units // units_per_rank))
+
+    def _lock_banks(self, locked: bool) -> None:
+        for unit in self.units:
+            unit.bank.locked = locked
+
+    def launch(self, request: LaunchRequest) -> ControlCost:
+        """Issue a launch; returns its control cost."""
+        raise NotImplementedError
+
+    def poll(self) -> ControlCost:
+        """Poll until all units are finished; returns its control cost."""
+        raise NotImplementedError
+
+    def finish(self, request: LaunchRequest) -> None:
+        """Mark the operation finished; release banks when appropriate."""
+        self._lock_banks(False)
+
+
+class OriginalController(_ControllerBase):
+    """The unmodified general-purpose PIM controller (§2.1).
+
+    Launching hands over every rank's banks and messages every unit; the
+    banks stay locked until the CPU's poll completes, regardless of
+    whether the units are loading from DRAM or computing from WRAM.
+    """
+
+    locks_banks_during_compute = True
+
+    def launch(self, request: LaunchRequest) -> ControlCost:
+        cpu_time = self.num_units * self.config.unit_message_latency
+        # Handover is paid per rank, serially (0.2 us per rank, §7.1).
+        handover = self.config.mode_switch_latency * self.num_ranks
+        self._lock_banks(True)
+        self.stats.launches += 1
+        self.stats.handovers += 1
+        self.stats.control_time += cpu_time + handover
+        return ControlCost(cpu_time, handover)
+
+    def poll(self) -> ControlCost:
+        cpu_time = self.num_units * self.config.unit_message_latency
+        self.stats.polls += 1
+        self.stats.control_time += cpu_time
+        return ControlCost(cpu_time, 0.0)
+
+
+class PushTapController(_ControllerBase):
+    """PUSHtap's extended controller: scheduler + polling module (§6.1)."""
+
+    locks_banks_during_compute = False
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        units: Sequence[PIMUnit],
+        special_address: int = SPECIAL_ADDRESS,
+    ) -> None:
+        super().__init__(config, units)
+        self.special_address = special_address
+        self._pending: Optional[LaunchRequest] = None
+
+    # ------------------------------------------------------------------
+    # The disguised-memory-access interface
+    # ------------------------------------------------------------------
+    def is_special(self, addr: int) -> bool:
+        """Whether an access address targets the control interface."""
+        return addr == self.special_address
+
+    def memory_write(self, addr: int, payload: bytes) -> Optional[ControlCost]:
+        """A CPU memory write; launches if it hits the special address."""
+        if not self.is_special(addr):
+            return None
+        return self.launch(decode_launch(payload))
+
+    def memory_read(self, addr: int) -> Optional[ControlCost]:
+        """A CPU memory read; polls if it hits the special address."""
+        if not self.is_special(addr):
+            return None
+        return self.poll()
+
+    # ------------------------------------------------------------------
+    # Scheduler / polling module behaviour
+    # ------------------------------------------------------------------
+    def launch(self, request: LaunchRequest) -> ControlCost:
+        """Scheduler path: one request, controller-side broadcast.
+
+        Bank control is handed over only when the operation accesses DRAM
+        (``LS``/``Defragment``); compute operations leave banks available
+        to the CPU.
+        """
+        if self._pending is not None:
+            raise ProtocolError("launch while a previous operation is still pending")
+        cpu_time = self.config.controller_request_latency
+        handover = 0.0
+        if request.op.needs_bank_handover:
+            handover = self.config.mode_switch_latency * self.num_ranks
+            self._lock_banks(True)
+            self.stats.handovers += 1
+        self._pending = request
+        self.stats.launches += 1
+        self.stats.control_time += cpu_time + handover
+        return ControlCost(cpu_time, handover)
+
+    def poll(self) -> ControlCost:
+        """Polling-module path: one disguised read answers the CPU."""
+        cpu_time = self.config.controller_request_latency
+        self.stats.polls += 1
+        self.stats.control_time += cpu_time
+        return ControlCost(cpu_time, 0.0)
+
+    def finish(self, request: LaunchRequest) -> None:
+        """Complete the pending operation and release any locked banks."""
+        if self._pending is None or self._pending.op != request.op:
+            raise ProtocolError("finish does not match the pending operation")
+        self._pending = None
+        if request.op.needs_bank_handover:
+            self._lock_banks(False)
+
+    @property
+    def pending(self) -> Optional[LaunchRequest]:
+        """The operation currently executing, if any."""
+        return self._pending

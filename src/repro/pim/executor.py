@@ -1,0 +1,156 @@
+"""Two-phase OLAP execution (§6.2).
+
+An OLAP operation is split into alternating *load* and *compute* phases,
+chunked by half the WRAM (the other half is the units' operating memory).
+During a load phase bank control belongs to the PIM units and normal CPU
+access is blocked; during a compute phase PUSHtap's controller leaves the
+banks to the CPU, whereas the original architecture keeps them locked for
+the whole offload.
+
+:class:`TwoPhaseExecutor` orchestrates the phases over any
+:class:`ChunkedOperation` and produces an :class:`ExecutionResult` whose
+``cpu_blocked_time`` is exactly the quantity the paper's real-time-OLTP
+argument is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Protocol, Sequence
+
+from repro.errors import QueryError
+from repro.pim.controller import _ControllerBase
+from repro.pim.pim_unit import PIMUnit
+from repro.pim.requests import LaunchRequest, OpType
+
+__all__ = ["ChunkedOperation", "PhaseTrace", "ExecutionResult", "TwoPhaseExecutor"]
+
+
+class ChunkedOperation(Protocol):
+    """Work split into WRAM-sized chunks per PIM unit.
+
+    Implementations perform real data movement/compute on the given unit
+    and return the modelled time of each call.
+    """
+
+    def num_chunks(self) -> int:
+        """Number of load/compute phase pairs (max across units)."""
+        ...
+
+    def participating_units(self) -> Sequence[PIMUnit]:
+        """Units involved in this operation."""
+        ...
+
+    def load_request(self, chunk: int) -> LaunchRequest:
+        """The LS launch request for phase ``chunk``."""
+        ...
+
+    def compute_request(self, chunk: int) -> LaunchRequest:
+        """The compute launch request for phase ``chunk``."""
+        ...
+
+    def load(self, unit: PIMUnit, chunk: int) -> float:
+        """Run the load phase for one unit; returns unit-local time."""
+        ...
+
+    def compute(self, unit: PIMUnit, chunk: int) -> float:
+        """Run the compute phase for one unit; returns unit-local time."""
+        ...
+
+
+@dataclass(frozen=True)
+class PhaseTrace:
+    """Timing of one load+compute phase pair."""
+
+    chunk: int
+    control_time: float
+    load_time: float
+    compute_time: float
+
+
+@dataclass
+class ExecutionResult:
+    """Aggregate timing of one two-phase OLAP operation."""
+
+    total_time: float = 0.0
+    cpu_blocked_time: float = 0.0
+    load_time: float = 0.0
+    compute_time: float = 0.0
+    control_time: float = 0.0
+    phases: int = 0
+    traces: List[PhaseTrace] = field(default_factory=list)
+
+    @property
+    def control_fraction(self) -> float:
+        """Control (mode-switch + messaging) share of total time."""
+        return self.control_time / self.total_time if self.total_time else 0.0
+
+    def merge(self, other: "ExecutionResult") -> "ExecutionResult":
+        """Concatenate two results (serial composition)."""
+        return ExecutionResult(
+            total_time=self.total_time + other.total_time,
+            cpu_blocked_time=self.cpu_blocked_time + other.cpu_blocked_time,
+            load_time=self.load_time + other.load_time,
+            compute_time=self.compute_time + other.compute_time,
+            control_time=self.control_time + other.control_time,
+            phases=self.phases + other.phases,
+            traces=self.traces + other.traces,
+        )
+
+
+class TwoPhaseExecutor:
+    """Runs chunked operations under a given memory controller."""
+
+    def __init__(self, controller: _ControllerBase) -> None:
+        self.controller = controller
+
+    def execute(self, op: ChunkedOperation) -> ExecutionResult:
+        """Run all phases of ``op``; returns aggregate timing.
+
+        Per-phase wall time is the slowest unit (units run in parallel);
+        CPU-blocked time counts control traffic and load phases always,
+        and compute phases only when the controller keeps banks locked
+        (the original architecture).
+        """
+        units = list(op.participating_units())
+        if not units:
+            raise QueryError("chunked operation has no participating units")
+        result = ExecutionResult()
+        blocking_compute = self.controller.locks_banks_during_compute
+        for chunk in range(op.num_chunks()):
+            load_req = op.load_request(chunk)
+            if load_req.op != OpType.LS and load_req.op != OpType.DEFRAGMENT:
+                raise QueryError(f"load phase must be LS/Defragment, got {load_req.op.name}")
+            launch_cost = self.controller.launch(load_req)
+            load_time = max(op.load(unit, chunk) for unit in units)
+            self.controller.finish(load_req)
+            poll_cost = self.controller.poll()
+
+            compute_req = op.compute_request(chunk)
+            if compute_req.op.needs_bank_handover:
+                raise QueryError(
+                    f"compute phase must be WRAM-only, got {compute_req.op.name}"
+                )
+            c_launch_cost = self.controller.launch(compute_req)
+            compute_time = max(op.compute(unit, chunk) for unit in units)
+            self.controller.finish(compute_req)
+            c_poll_cost = self.controller.poll()
+
+            control = (
+                launch_cost.total
+                + poll_cost.total
+                + c_launch_cost.total
+                + c_poll_cost.total
+            )
+            result.total_time += control + load_time + compute_time
+            result.load_time += load_time
+            result.compute_time += compute_time
+            result.control_time += control
+            blocked = launch_cost.total + load_time + poll_cost.cpu_time
+            blocked += c_launch_cost.total + c_poll_cost.cpu_time
+            if blocking_compute:
+                blocked += compute_time
+            result.cpu_blocked_time += blocked
+            result.phases += 1
+            result.traces.append(PhaseTrace(chunk, control, load_time, compute_time))
+        return result

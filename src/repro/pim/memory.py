@@ -1,0 +1,137 @@
+"""Rank-level memory with two-dimensional access.
+
+A :class:`Rank` groups ``d`` devices and exposes the two access views the
+paper builds on (Fig. 1b):
+
+* **ADE (across devices)** — the CPU's interleaved view: the linear
+  address space is striped across devices at the interleave granularity
+  (8 B for DIMM). :meth:`Rank.read_interleaved` /
+  :meth:`Rank.write_interleaved` implement it.
+* **IDE (inside device)** — each PIM unit reads its own device/bank
+  locally via :meth:`Rank.device_read` / :meth:`Rank.device_write`.
+
+The address mapping is the standard low-order interleave: interleaved
+address ``a`` lives on device ``(a // g) % d`` at local offset
+``(a // (g * d)) * g + (a % g)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.config import DeviceGeometry
+from repro.errors import MemoryError_
+from repro.pim.device import Device
+
+__all__ = ["Rank", "interleaved_to_local", "local_to_interleaved"]
+
+
+def interleaved_to_local(addr: int, granularity: int, num_devices: int) -> Tuple[int, int]:
+    """Map an interleaved (CPU-view) address to ``(device, local_offset)``."""
+    if addr < 0:
+        raise MemoryError_(f"negative address {addr}")
+    stripe = addr // granularity
+    device = stripe % num_devices
+    local = (stripe // num_devices) * granularity + (addr % granularity)
+    return device, local
+
+
+def local_to_interleaved(device: int, local: int, granularity: int, num_devices: int) -> int:
+    """Inverse of :func:`interleaved_to_local`."""
+    if device < 0 or device >= num_devices:
+        raise MemoryError_(f"device {device} out of range [0, {num_devices})")
+    if local < 0:
+        raise MemoryError_(f"negative local offset {local}")
+    stripe = (local // granularity) * num_devices + device
+    return stripe * granularity + (local % granularity)
+
+
+class Rank:
+    """A rank of interleaved devices with PIM-style local access."""
+
+    def __init__(self, geometry: DeviceGeometry, device_bytes: int) -> None:
+        if device_bytes % geometry.interleave_granularity != 0:
+            raise MemoryError_(
+                "device_bytes must be a multiple of the interleave granularity"
+            )
+        if device_bytes % geometry.banks_per_device != 0:
+            raise MemoryError_("device_bytes must be a multiple of banks_per_device")
+        self.geometry = geometry
+        self.devices: List[Device] = [
+            Device(i, device_bytes, geometry.banks_per_device)
+            for i in range(geometry.devices_per_rank)
+        ]
+
+    @property
+    def num_devices(self) -> int:
+        """Number of devices (the ADE width)."""
+        return len(self.devices)
+
+    @property
+    def granularity(self) -> int:
+        """Interleave granularity in bytes."""
+        return self.geometry.interleave_granularity
+
+    @property
+    def size(self) -> int:
+        """Total interleaved address space of the rank."""
+        return sum(d.size for d in self.devices)
+
+    # ------------------------------------------------------------------
+    # ADE view (CPU interleaved access)
+    # ------------------------------------------------------------------
+    def read_interleaved(self, addr: int, nbytes: int) -> np.ndarray:
+        """Read ``nbytes`` from the CPU's interleaved address space."""
+        self._check(addr, nbytes)
+        out = np.empty(nbytes, dtype=np.uint8)
+        for pos, dev, local, run in self._spans(addr, nbytes):
+            out[pos : pos + run] = self.devices[dev].data[local : local + run]
+        return out
+
+    def write_interleaved(self, addr: int, data: np.ndarray) -> None:
+        """Write ``data`` into the CPU's interleaved address space."""
+        data = np.asarray(data, dtype=np.uint8)
+        self._check(addr, len(data))
+        for pos, dev, local, run in self._spans(addr, len(data)):
+            self.devices[dev].data[local : local + run] = data[pos : pos + run]
+
+    def _spans(self, addr: int, nbytes: int):
+        """Yield ``(pos, device, local, run)`` byte-runs of an access.
+
+        Runs never cross a granule boundary, so each run maps to one
+        contiguous region of one device.
+        """
+        pos = 0
+        while pos < nbytes:
+            a = addr + pos
+            dev, local = interleaved_to_local(a, self.granularity, self.num_devices)
+            run = min(self.granularity - (a % self.granularity), nbytes - pos)
+            yield pos, dev, local, run
+            pos += run
+
+    # ------------------------------------------------------------------
+    # IDE view (PIM local access)
+    # ------------------------------------------------------------------
+    def device_read(self, device: int, local: int, nbytes: int) -> np.ndarray:
+        """Read ``nbytes`` locally from one device (PIM view)."""
+        return self.devices[device].read(local, nbytes)
+
+    def device_write(self, device: int, local: int, data: np.ndarray) -> None:
+        """Write ``data`` locally to one device (PIM view)."""
+        self.devices[device].write(local, data)
+
+    def bank_of(self, device: int, local: int):
+        """Return the bank of ``device`` containing local byte ``local``."""
+        return self.devices[device].bank_of(local)
+
+    def _check(self, addr: int, nbytes: int) -> None:
+        if addr < 0 or nbytes < 0 or addr + nbytes > self.size:
+            raise MemoryError_(
+                f"interleaved access [{addr}, {addr + nbytes}) out of range "
+                f"(rank size {self.size})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Rank(devices={self.num_devices}, size={self.size})"

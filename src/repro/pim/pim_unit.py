@@ -1,0 +1,414 @@
+"""Functional PIM unit model (UPMEM-like, §2.1).
+
+One :class:`PIMUnit` sits next to one DRAM bank. It owns a WRAM scratchpad
+(64 kB by default) and executes the operations of Fig. 7b:
+
+* **LS** — the load phase: write back the previous result from WRAM to the
+  bank and stream new operand data from the bank into WRAM (strided, to
+  follow the block-circulant placement).
+* **Filter / Group / Aggregation / Hash / Join** — compute phases operating
+  entirely inside WRAM, consulting the snapshot bitmap to skip invisible
+  rows.
+
+Every method is functional (real bytes move) and returns the modelled time
+in nanoseconds. DRAM-side time uses the streaming model of
+:mod:`repro.pim.timing`; compute time is ``ceil(n / tasklets)`` element
+steps at a few cycles per element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import numpy as np
+
+from repro.core.config import DRAMTimings, DeviceGeometry, PIMUnitConfig
+from repro.errors import MemoryError_, ProtocolError
+from repro.pim.device import Bank
+from repro.pim.timing import stream_time
+from repro.units import ceil_div
+
+__all__ = ["PIMUnit", "PIMUnitStats", "bytes_to_uints", "uints_to_bytes", "Condition"]
+
+#: Modelled compute cost per element, in PIM cycles per tasklet.
+_CYCLES_PER_ELEMENT = {
+    "filter": 4,
+    "group": 8,
+    "aggregation": 6,
+    "hash": 10,
+    "join": 12,
+    "copy": 2,
+}
+
+
+def bytes_to_uints(raw: np.ndarray, width: int) -> np.ndarray:
+    """Decode a flat byte array into little-endian unsigned ints.
+
+    ``width`` may be 1–8 bytes; the result dtype is ``uint64``.
+    """
+    raw = np.asarray(raw, dtype=np.uint8)
+    if width <= 0 or width > 8:
+        raise ProtocolError(f"element width must be 1..8, got {width}")
+    if len(raw) % width != 0:
+        raise ProtocolError(f"byte length {len(raw)} not a multiple of width {width}")
+    mat = raw.reshape(-1, width).astype(np.uint64)
+    weights = (np.uint64(1) << (np.uint64(8) * np.arange(width, dtype=np.uint64)))
+    return (mat * weights).sum(axis=1, dtype=np.uint64)
+
+
+def uints_to_bytes(values: np.ndarray, width: int) -> np.ndarray:
+    """Inverse of :func:`bytes_to_uints`."""
+    values = np.asarray(values, dtype=np.uint64)
+    if width <= 0 or width > 8:
+        raise ProtocolError(f"element width must be 1..8, got {width}")
+    out = np.empty((len(values), width), dtype=np.uint8)
+    for b in range(width):
+        out[:, b] = (values >> np.uint64(8 * b)).astype(np.uint8)
+    return out.reshape(-1)
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A filter predicate encoded in the 8-byte ``condition`` field.
+
+    Byte 0 is the comparison opcode; bytes 1–7 hold the little-endian
+    operand. ``BETWEEN``-style predicates are expressed as two filters.
+    """
+
+    op: str
+    operand: int
+
+    _OPCODES = {"eq": 0, "ne": 1, "lt": 2, "le": 3, "gt": 4, "ge": 5}
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPCODES:
+            raise ProtocolError(f"unknown comparison op {self.op!r}")
+        if not 0 <= self.operand < (1 << 56):
+            raise ProtocolError("condition operand must fit in 7 bytes")
+
+    def encode(self) -> int:
+        """Pack into the 8-byte integer carried by the launch request."""
+        return self._OPCODES[self.op] | (self.operand << 8)
+
+    @classmethod
+    def decode(cls, packed: int) -> "Condition":
+        """Unpack from the launch request field."""
+        opcode = packed & 0xFF
+        for name, code in cls._OPCODES.items():
+            if code == opcode:
+                return cls(name, packed >> 8)
+        raise ProtocolError(f"unknown comparison opcode {opcode}")
+
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized predicate evaluation."""
+        operand = np.uint64(self.operand)
+        if self.op == "eq":
+            return values == operand
+        if self.op == "ne":
+            return values != operand
+        if self.op == "lt":
+            return values < operand
+        if self.op == "le":
+            return values <= operand
+        if self.op == "gt":
+            return values > operand
+        return values >= operand
+
+
+@dataclass
+class PIMUnitStats:
+    """Accumulated work counters of one PIM unit."""
+
+    dram_bytes_read: int = 0
+    dram_bytes_written: int = 0
+    elements_processed: int = 0
+    load_time: float = 0.0
+    compute_time: float = 0.0
+
+    @property
+    def total_time(self) -> float:
+        """Total busy time of the unit."""
+        return self.load_time + self.compute_time
+
+
+class PIMUnit:
+    """One per-bank PIM unit with a WRAM scratchpad."""
+
+    def __init__(
+        self,
+        unit_id: int,
+        bank: Bank,
+        config: PIMUnitConfig,
+        timings: DRAMTimings,
+        geometry: DeviceGeometry,
+    ) -> None:
+        self.unit_id = unit_id
+        self.bank = bank
+        self.config = config
+        self.timings = timings
+        self.geometry = geometry
+        self.wram = np.zeros(config.wram_bytes, dtype=np.uint8)
+        self.stats = PIMUnitStats()
+        self.busy = False
+
+    # ------------------------------------------------------------------
+    # WRAM access
+    # ------------------------------------------------------------------
+    def wram_read(self, offset: int, nbytes: int) -> np.ndarray:
+        """Read bytes from WRAM."""
+        self._check_wram(offset, nbytes)
+        return self.wram[offset : offset + nbytes].copy()
+
+    def wram_write(self, offset: int, data: np.ndarray) -> None:
+        """Write bytes into WRAM."""
+        data = np.asarray(data, dtype=np.uint8)
+        self._check_wram(offset, len(data))
+        self.wram[offset : offset + len(data)] = data
+
+    def _check_wram(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or nbytes < 0 or offset + nbytes > len(self.wram):
+            raise MemoryError_(
+                f"unit {self.unit_id}: WRAM access [{offset}, {offset + nbytes}) "
+                f"out of range (size {len(self.wram)})"
+            )
+
+    # ------------------------------------------------------------------
+    # Load phase
+    # ------------------------------------------------------------------
+    def load_strided(
+        self,
+        dram_addr: int,
+        length: int,
+        stride: int,
+        chunk: int,
+        wram_offset: int,
+    ) -> float:
+        """Stream ``length`` bytes from the bank into WRAM.
+
+        Data is gathered as ``chunk``-byte pieces at ``stride`` spacing
+        starting at ``dram_addr`` (stride = the part's row width; chunk =
+        the scanned footprint per row). With ``stride == chunk`` this is a
+        dense copy. Returns modelled time; DRAM traffic is accounted at
+        the unit's 8 B access granularity, so sub-granule chunks still
+        cost a full granule (the fragmentation effect of Fig. 11b).
+        """
+        if length <= 0:
+            return 0.0
+        if chunk <= 0 or stride < chunk:
+            raise ProtocolError(f"invalid stride/chunk {stride}/{chunk}")
+        self._check_wram(wram_offset, length)
+        pieces = ceil_div(length, chunk)
+        out = np.empty(length, dtype=np.uint8)
+        pos = 0
+        for i in range(pieces):
+            take = min(chunk, length - pos)
+            out[pos : pos + take] = self.bank.read(dram_addr + i * stride, take)
+            pos += take
+        self.wram[wram_offset : wram_offset + length] = out
+        granule = self.config.access_granularity
+        if stride == chunk:
+            moved = max(length, granule)
+        else:
+            moved = pieces * max(granule, chunk)
+        time = self._dram_time(moved)
+        self.stats.dram_bytes_read += moved
+        self.stats.load_time += time
+        return time
+
+    def _dram_time(self, moved: int) -> float:
+        """DRAM-side transfer time, capped by the unit's bandwidth spec."""
+        raw = stream_time(moved, self.timings, self.geometry, self.config.access_granularity)
+        return max(raw, moved / self.config.dram_bandwidth)
+
+    def store_dense(self, dram_addr: int, wram_offset: int, length: int) -> float:
+        """Write ``length`` WRAM bytes back to the bank contiguously."""
+        if length <= 0:
+            return 0.0
+        self._check_wram(wram_offset, length)
+        self.bank.write(dram_addr, self.wram[wram_offset : wram_offset + length])
+        granule = self.config.access_granularity
+        time = self._dram_time(max(length, granule))
+        self.stats.dram_bytes_written += max(length, granule)
+        self.stats.load_time += time
+        return time
+
+    # ------------------------------------------------------------------
+    # Compute phases (WRAM-only)
+    # ------------------------------------------------------------------
+    def _compute_time(self, elements: int, kind: str) -> float:
+        steps = ceil_div(max(elements, 1), self.config.tasklets)
+        time = steps * _CYCLES_PER_ELEMENT[kind] * self.config.cycle_ns
+        self.stats.elements_processed += elements
+        self.stats.compute_time += time
+        return time
+
+    def _visible_mask(
+        self, bitmap_offset: int, count: int, bitmap_base_row: int = 0
+    ) -> np.ndarray:
+        """Expand the snapshot bitmap into a boolean mask of ``count`` rows."""
+        first_bit = bitmap_base_row
+        last_bit = bitmap_base_row + count
+        nbytes = ceil_div(last_bit, 8)
+        raw = self.wram_read(bitmap_offset, nbytes)
+        bits = np.unpackbits(raw, bitorder="little")
+        return bits[first_bit:last_bit].astype(bool)
+
+    def op_filter(
+        self,
+        bitmap_offset: int,
+        data_offset: int,
+        result_offset: int,
+        data_width: int,
+        condition: Condition,
+        count: int,
+        bitmap_base_row: int = 0,
+    ) -> float:
+        """Filter ``count`` elements; write a result bitmap to WRAM.
+
+        Invisible rows (snapshot bit 0) never match.
+        """
+        values = bytes_to_uints(self.wram_read(data_offset, count * data_width), data_width)
+        visible = self._visible_mask(bitmap_offset, count, bitmap_base_row)
+        matches = condition.evaluate(values) & visible
+        packed = np.packbits(matches.astype(np.uint8), bitorder="little")
+        self.wram_write(result_offset, packed)
+        return self._compute_time(count, "filter")
+
+    def op_group(
+        self,
+        bitmap_offset: int,
+        data_offset: int,
+        dict_offset: int,
+        result_offset: int,
+        data_width: int,
+        count: int,
+        dict_capacity: int = 256,
+        bitmap_base_row: int = 0,
+    ) -> float:
+        """Dictionary-encode ``count`` group keys into dense group indices.
+
+        The dictionary (distinct keys, little-endian ``data_width`` bytes
+        each) is written at ``dict_offset``; per-row 2-byte group indices
+        at ``result_offset``. Invisible rows get index 0xFFFF.
+        """
+        values = bytes_to_uints(self.wram_read(data_offset, count * data_width), data_width)
+        visible = self._visible_mask(bitmap_offset, count, bitmap_base_row)
+        uniques = np.unique(values[visible]) if visible.any() else np.array([], dtype=np.uint64)
+        if len(uniques) > dict_capacity:
+            raise ProtocolError(
+                f"group dictionary overflow: {len(uniques)} keys > {dict_capacity}"
+            )
+        indices = np.full(count, 0xFFFF, dtype=np.uint16)
+        if len(uniques):
+            indices[visible] = np.searchsorted(uniques, values[visible]).astype(np.uint16)
+        self.wram_write(dict_offset, uints_to_bytes(uniques, data_width))
+        self.wram_write(result_offset, indices.view(np.uint8))
+        return self._compute_time(count, "group")
+
+    def op_aggregation(
+        self,
+        bitmap_offset: int,
+        data_offset: int,
+        index_offset: int,
+        result_offset: int,
+        data_width: int,
+        count: int,
+        num_groups: int,
+        bitmap_base_row: int = 0,
+    ) -> float:
+        """Sum ``count`` values into per-group 8-byte accumulators.
+
+        Group indices are the 2-byte outputs of :meth:`op_group`;
+        accumulators at ``result_offset`` are read-modified-written so
+        chunked execution accumulates across phases.
+        """
+        values = bytes_to_uints(self.wram_read(data_offset, count * data_width), data_width)
+        indices = self.wram_read(index_offset, count * 2).view(np.uint16)
+        visible = self._visible_mask(bitmap_offset, count, bitmap_base_row)
+        valid = visible & (indices != 0xFFFF)
+        acc = self.wram_read(result_offset, num_groups * 8).view(np.uint64).copy()
+        if valid.any():
+            np.add.at(acc, indices[valid].astype(np.int64), values[valid])
+        self.wram_write(result_offset, acc.view(np.uint8))
+        return self._compute_time(count, "aggregation")
+
+    def op_hash(
+        self,
+        bitmap_offset: int,
+        data_offset: int,
+        result_offset: int,
+        data_width: int,
+        count: int,
+        hash_function: int = 0,
+        bitmap_base_row: int = 0,
+    ) -> float:
+        """Hash ``count`` keys to 4-byte values (0 for invisible rows)."""
+        values = bytes_to_uints(self.wram_read(data_offset, count * data_width), data_width)
+        visible = self._visible_mask(bitmap_offset, count, bitmap_base_row)
+        hashed = _hash_u64(values, hash_function)
+        hashed[~visible] = 0
+        self.wram_write(result_offset, hashed.view(np.uint8))
+        return self._compute_time(count, "hash")
+
+    def op_join(
+        self,
+        hash1_offset: int,
+        hash2_offset: int,
+        result_offset: int,
+        count1: int,
+        count2: int,
+    ) -> float:
+        """Join two 4-byte hash buckets; write match-pair indices.
+
+        The result region receives a 4-byte match count followed by
+        ``(i, j)`` pairs of 4-byte indices into the two buckets.
+        """
+        h1 = self.wram_read(hash1_offset, count1 * 4).view(np.uint32)
+        h2 = self.wram_read(hash2_offset, count2 * 4).view(np.uint32)
+        pairs = []
+        positions = {}
+        for j, h in enumerate(h2):
+            if h:
+                positions.setdefault(int(h), []).append(j)
+        for i, h in enumerate(h1):
+            for j in positions.get(int(h), ()):
+                pairs.append((i, j))
+        out = np.empty(4 + len(pairs) * 8, dtype=np.uint8)
+        out[:4] = np.frombuffer(np.uint32(len(pairs)).tobytes(), dtype=np.uint8)
+        if pairs:
+            arr = np.array(pairs, dtype=np.uint32).reshape(-1)
+            out[4:] = arr.view(np.uint8)
+        self.wram_write(result_offset, out)
+        return self._compute_time(count1 + count2, "join")
+
+    def copy_rows(self, src_addrs: np.ndarray, dst_addrs: np.ndarray, width: int) -> float:
+        """Defragmentation helper: copy ``width``-byte slots bank-locally."""
+        if len(src_addrs) != len(dst_addrs):
+            raise ProtocolError("src/dst address count mismatch")
+        for src, dst in zip(src_addrs, dst_addrs):
+            self.bank.write(int(dst), self.bank.read(int(src), width))
+        granule = self.config.access_granularity
+        moved = 2 * len(src_addrs) * max(width, granule)
+        time = self._dram_time(moved)
+        self.stats.dram_bytes_read += moved // 2
+        self.stats.dram_bytes_written += moved // 2
+        self.stats.load_time += time
+        time += self._compute_time(len(src_addrs), "copy")
+        return time
+
+
+def _hash_u64(values: np.ndarray, hash_function: int) -> np.ndarray:
+    """Simple multiplicative hashes selected by ``hash_function``.
+
+    Hash 0 is reserved as the "invisible" marker, so outputs are forced
+    non-zero.
+    """
+    multipliers = (
+        np.uint64(0x9E3779B97F4A7C15),
+        np.uint64(0xC2B2AE3D27D4EB4F),
+        np.uint64(0x165667B19E3779F9),
+    )
+    mult = multipliers[hash_function % len(multipliers)]
+    mixed = (values + np.uint64(1)) * mult
+    out = (mixed >> np.uint64(32)).astype(np.uint32)
+    out[out == 0] = 1
+    return out

@@ -1,0 +1,192 @@
+"""Launch/poll request encoding (§6.1, Fig. 7b).
+
+PUSHtap's CPU controls PIM units with two request kinds disguised as
+normal memory accesses to a preconfigured special physical address:
+
+* **launch** — a 64 B memory *write* whose payload is ``type (1 B)`` +
+  ``input parameters (63 B)``;
+* **poll** — a memory *read* of the same address; the polling module
+  answers once all PIM units have finished.
+
+The per-operation parameter fields and their byte widths follow Fig. 7b
+exactly. Load-phase operations (``LS``, ``Defragment``) hand DRAM bank
+control to the PIM units; compute operations run out of WRAM with the CPU
+retaining bank control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Dict, List, Mapping, Tuple
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "OpType",
+    "LaunchRequest",
+    "PollRequest",
+    "REQUEST_BYTES",
+    "FIELD_SPECS",
+    "encode_launch",
+    "decode_launch",
+]
+
+#: Size of one launch request payload (one cache line).
+REQUEST_BYTES = 64
+
+
+class OpType(IntEnum):
+    """PIM operation types (Fig. 7b)."""
+
+    LS = 1
+    DEFRAGMENT = 2
+    FILTER = 3
+    GROUP = 4
+    AGGREGATION = 5
+    HASH = 6
+    JOIN = 7
+
+    @property
+    def needs_bank_handover(self) -> bool:
+        """Whether the scheduler hands DRAM bank control to PIM units.
+
+        Only the load-phase operations touch DRAM; compute operations run
+        entirely out of WRAM (§6.1).
+        """
+        return self in (OpType.LS, OpType.DEFRAGMENT)
+
+
+#: Parameter field layouts: op type → ordered (name, byte width) pairs.
+FIELD_SPECS: Dict[OpType, Tuple[Tuple[str, int], ...]] = {
+    OpType.LS: (
+        ("result_addr", 3),
+        ("result_len", 2),
+        ("result_offset", 2),
+        ("result_stride", 2),
+        ("op0_addr", 3),
+        ("op0_len", 2),
+        ("op0_offset", 2),
+        ("op0_stride", 2),
+    ),
+    OpType.DEFRAGMENT: (
+        ("meta_addr", 3),
+        ("data_addr", 3),
+        ("data_stride", 2),
+        ("delta_addr", 3),
+        ("delta_stride", 2),
+    ),
+    OpType.FILTER: (
+        ("bitmap_offset", 2),
+        ("data_offset", 2),
+        ("result_offset", 2),
+        ("data_width", 1),
+        ("condition", 8),
+    ),
+    OpType.GROUP: (
+        ("bitmap_offset", 2),
+        ("data_offset", 2),
+        ("dict_offset", 2),
+        ("result_offset", 2),
+        ("data_width", 1),
+    ),
+    OpType.AGGREGATION: (
+        ("bitmap_offset", 2),
+        ("data_offset", 2),
+        ("index_offset", 2),
+        ("result_offset", 2),
+        ("data_width", 1),
+    ),
+    OpType.HASH: (
+        ("bitmap_offset", 2),
+        ("data_offset", 2),
+        ("result_offset", 2),
+        ("hash_function", 4),
+        ("data_width", 1),
+    ),
+    OpType.JOIN: (
+        ("hash1_offset", 2),
+        ("hash2_offset", 2),
+        ("result_offset", 2),
+        ("data_width", 1),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class LaunchRequest:
+    """A decoded launch request: operation type plus named parameters."""
+
+    op: OpType
+    params: Mapping[str, int]
+
+    def __post_init__(self) -> None:
+        spec = FIELD_SPECS[self.op]
+        names = [name for name, _ in spec]
+        unknown = set(self.params) - set(names)
+        if unknown:
+            raise ProtocolError(f"{self.op.name}: unknown fields {sorted(unknown)}")
+        for name, width in spec:
+            value = self.params.get(name, 0)
+            if not isinstance(value, int) or value < 0:
+                raise ProtocolError(f"{self.op.name}.{name}: must be a non-negative int")
+            if value >= (1 << (8 * width)):
+                raise ProtocolError(
+                    f"{self.op.name}.{name}: value {value} exceeds {width}-byte field"
+                )
+
+    def get(self, name: str) -> int:
+        """Return a parameter, defaulting omitted fields to 0."""
+        if all(name != n for n, _ in FIELD_SPECS[self.op]):
+            raise ProtocolError(f"{self.op.name} has no field {name!r}")
+        return int(self.params.get(name, 0))
+
+    def encode(self) -> bytes:
+        """Encode to the 64 B payload written to the special address."""
+        return encode_launch(self)
+
+
+@dataclass(frozen=True)
+class PollRequest:
+    """A poll request — a read of the special address; carries no payload."""
+
+    def encode(self) -> bytes:
+        """Poll requests read, rather than write, the special address."""
+        return b""
+
+
+def encode_launch(request: LaunchRequest) -> bytes:
+    """Encode a :class:`LaunchRequest` into 64 bytes per Fig. 7b."""
+    out = bytearray(REQUEST_BYTES)
+    out[0] = int(request.op)
+    pos = 1
+    for name, width in FIELD_SPECS[request.op]:
+        value = request.get(name)
+        out[pos : pos + width] = value.to_bytes(width, "little")
+        pos += width
+    if pos > REQUEST_BYTES:
+        raise ProtocolError(
+            f"{request.op.name}: fields occupy {pos} bytes, exceeding {REQUEST_BYTES}"
+        )
+    return bytes(out)
+
+
+def decode_launch(payload: bytes) -> LaunchRequest:
+    """Decode a 64 B payload back into a :class:`LaunchRequest`."""
+    if len(payload) != REQUEST_BYTES:
+        raise ProtocolError(
+            f"launch payload must be {REQUEST_BYTES} bytes, got {len(payload)}"
+        )
+    try:
+        op = OpType(payload[0])
+    except ValueError:
+        raise ProtocolError(f"unknown op type byte {payload[0]}") from None
+    params: Dict[str, int] = {}
+    pos = 1
+    for name, width in FIELD_SPECS[op]:
+        params[name] = int.from_bytes(payload[pos : pos + width], "little")
+        pos += width
+    trailing: List[int] = [b for b in payload[pos:] if b]
+    if trailing:
+        raise ProtocolError(f"{op.name}: non-zero trailing bytes {trailing}")
+    return LaunchRequest(op, params)

@@ -1,0 +1,45 @@
+"""Plain-text table rendering for benchmark/experiment output.
+
+Benchmarks print the same rows/series the paper's figures report;
+:func:`format_table` keeps that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_percent", "format_time_ns"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as an aligned ASCII table with a header rule."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    rule = "  ".join("-" * w for w in widths)
+    return "\n".join([line(list(headers)), rule] + [line(row) for row in materialized])
+
+
+def format_percent(fraction: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{fraction * 100:.{digits}f}%"
+
+
+def format_time_ns(time_ns: float) -> str:
+    """Format a nanosecond duration with an adaptive unit."""
+    if time_ns >= 1e9:
+        return f"{time_ns / 1e9:.3f} s"
+    if time_ns >= 1e6:
+        return f"{time_ns / 1e6:.3f} ms"
+    if time_ns >= 1e3:
+        return f"{time_ns / 1e3:.3f} us"
+    return f"{time_ns:.1f} ns"

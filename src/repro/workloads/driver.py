@@ -1,0 +1,104 @@
+"""Mixed HTAP workload driver (§7.3.3's measurement methodology).
+
+Interleaves TPC-C transactions with analytical queries at a configured
+ratio and reports throughput in the paper's units — tpmC (transactions
+per minute) and QphH (queries per hour) — computed over *simulated* time,
+so the numbers reflect the modelled system rather than the Python host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.engine import PushTapEngine
+from repro.errors import ConfigError
+from repro.units import S
+
+__all__ = ["WorkloadReport", "MixedWorkload"]
+
+
+@dataclass
+class WorkloadReport:
+    """Throughput and latency summary of one mixed run."""
+
+    transactions: int = 0
+    queries: int = 0
+    oltp_time: float = 0.0
+    olap_time: float = 0.0
+    defrag_time: float = 0.0
+    query_latencies: Dict[str, List[float]] = field(default_factory=dict)
+
+    @property
+    def simulated_time(self) -> float:
+        """Total simulated wall time (serial engine) in ns."""
+        return self.oltp_time + self.olap_time + self.defrag_time
+
+    @property
+    def oltp_tpmc(self) -> float:
+        """Transactions per simulated minute."""
+        if self.simulated_time == 0:
+            return 0.0
+        return self.transactions / self.simulated_time * S * 60.0
+
+    @property
+    def olap_qphh(self) -> float:
+        """Queries per simulated hour."""
+        if self.simulated_time == 0:
+            return 0.0
+        return self.queries / self.simulated_time * S * 3600.0
+
+    def mean_query_latency(self, name: str) -> float:
+        """Average simulated latency of one query type."""
+        latencies = self.query_latencies.get(name, [])
+        return sum(latencies) / len(latencies) if latencies else 0.0
+
+
+class MixedWorkload:
+    """Drives an engine with a transaction/query mix.
+
+    ``txns_per_query`` sets the interleaving (the paper's query scheduler
+    issues analytical queries between transaction batches); ``queries``
+    cycles through the named analytical queries.
+    """
+
+    def __init__(
+        self,
+        engine: PushTapEngine,
+        txns_per_query: int = 50,
+        queries: Sequence[str] = ("Q1", "Q6", "Q9"),
+        seed: int = 11,
+        payment_fraction: float = 0.5,
+        delivery_fraction: float = 0.0,
+    ) -> None:
+        if txns_per_query < 0:
+            raise ConfigError("txns_per_query must be non-negative")
+        if not queries:
+            raise ConfigError("at least one analytical query is required")
+        self.engine = engine
+        self.txns_per_query = txns_per_query
+        self.queries = list(queries)
+        self.driver = engine.make_driver(
+            seed=seed, payment_fraction=payment_fraction
+        )
+        self.driver.delivery_fraction = delivery_fraction
+        self._query_cursor = 0
+
+    def run(self, num_queries: int) -> WorkloadReport:
+        """Run ``num_queries`` query intervals; returns the report."""
+        report = WorkloadReport()
+        engine = self.engine
+        defrag_before = engine.stats.defrag_time
+        for _ in range(num_queries):
+            for _ in range(self.txns_per_query):
+                result = engine.execute_transaction(self.driver.next_transaction())
+                report.transactions += 1
+                report.oltp_time += result.total_time
+            name = self.queries[self._query_cursor % len(self.queries)]
+            self._query_cursor += 1
+            query = engine.query(name)
+            report.queries += 1
+            report.olap_time += query.total_time
+            report.query_latencies.setdefault(name, []).append(query.total_time)
+        report.defrag_time = engine.stats.defrag_time - defrag_before
+        return report

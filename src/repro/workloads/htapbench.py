@@ -1,0 +1,139 @@
+"""HTAPBench schema for the format-generality check (§7.2).
+
+The paper reports that the compact-aligned format algorithm generalizes
+beyond CH-benCHmark: on HTAPBench it achieves 57 % CPU / 98 % PIM
+bandwidth utilization at th = 0.55. HTAPBench [23] reuses a TPC-C-like
+transactional schema with a TPC-H-like decision-support query set; we
+model its core fact/dimension tables with their own width profile so the
+generality experiment exercises the layout algorithm on a second,
+differently shaped schema.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.format.schema import Column, TableSchema
+
+__all__ = [
+    "HTAPBENCH_TABLES",
+    "htapbench_schema",
+    "htapbench_table",
+    "htapbench_query_columns",
+    "htapbench_key_columns",
+    "htapbench_scan_weights",
+]
+
+
+def _int(name: str, width: int) -> Column:
+    return Column(name, width, kind="int")
+
+
+def _chars(name: str, width: int) -> Column:
+    return Column(name, width, kind="bytes")
+
+
+_SCHEMAS: Dict[str, TableSchema] = {
+    "account": TableSchema.of(
+        "account",
+        [
+            _int("a_id", 6),
+            _int("a_branch_id", 3),
+            _int("a_balance", 8),
+            _int("a_type", 1),
+            _int("a_opened_d", 4),
+            _chars("a_owner", 32),
+            _chars("a_notes", 96),
+        ],
+    ),
+    "teller": TableSchema.of(
+        "teller",
+        [
+            _int("t_id", 3),
+            _int("t_branch_id", 3),
+            _int("t_balance", 8),
+            _chars("t_name", 16),
+        ],
+    ),
+    "branch": TableSchema.of(
+        "branch",
+        [
+            _int("b_id", 3),
+            _int("b_balance", 8),
+            _int("b_region", 2),
+            _chars("b_name", 16),
+            _chars("b_address", 40),
+        ],
+    ),
+    "txn_history": TableSchema.of(
+        "txn_history",
+        [
+            _int("x_id", 8),
+            _int("x_a_id", 6),
+            _int("x_t_id", 3),
+            _int("x_b_id", 3),
+            _int("x_amount", 6),
+            _int("x_time", 4),
+            _int("x_kind", 1),
+            _chars("x_memo", 48),
+        ],
+    ),
+}
+
+HTAPBENCH_TABLES: Tuple[str, ...] = tuple(_SCHEMAS)
+
+#: Decision-support query column usage (reconstructed: HTAPBench runs
+#: TPC-H-style aggregation/join queries over the transactional schema).
+_QUERY_COLUMNS: Dict[str, Dict[str, Tuple[str, ...]]] = {
+    "H1": {"txn_history": ("x_amount", "x_time", "x_kind")},
+    "H2": {"txn_history": ("x_a_id", "x_amount"), "account": ("a_id", "a_branch_id")},
+    "H3": {"account": ("a_balance", "a_type", "a_opened_d")},
+    "H4": {
+        "txn_history": ("x_b_id", "x_amount", "x_time"),
+        "branch": ("b_id", "b_region"),
+    },
+    "H5": {"teller": ("t_id", "t_branch_id", "t_balance")},
+    "H6": {"txn_history": ("x_t_id", "x_amount"), "teller": ("t_id",)},
+}
+
+
+def htapbench_schema() -> Dict[str, TableSchema]:
+    """All HTAPBench table schemas."""
+    return dict(_SCHEMAS)
+
+
+def htapbench_table(name: str) -> TableSchema:
+    """One HTAPBench table schema."""
+    try:
+        return _SCHEMAS[name]
+    except KeyError:
+        raise SchemaError(f"unknown HTAPBench table {name!r}") from None
+
+
+def htapbench_query_columns(query: str) -> Dict[str, Tuple[str, ...]]:
+    """Columns one decision-support query scans, per table."""
+    try:
+        return dict(_QUERY_COLUMNS[query])
+    except KeyError:
+        raise SchemaError(f"unknown HTAPBench query {query!r}") from None
+
+
+def htapbench_key_columns(table: str, queries: Sequence[str] = None) -> List[str]:
+    """Union of scanned columns of ``table`` (schema order)."""
+    schema = htapbench_table(table)
+    names = queries if queries is not None else list(_QUERY_COLUMNS)
+    used = set()
+    for query in names:
+        used.update(htapbench_query_columns(query).get(table, ()))
+    return [c for c in schema.column_names if c in used]
+
+
+def htapbench_scan_weights(table: str, queries: Sequence[str] = None) -> Dict[str, int]:
+    """Scan frequency per column of ``table``."""
+    names = queries if queries is not None else list(_QUERY_COLUMNS)
+    weights: Dict[str, int] = {}
+    for query in names:
+        for column in htapbench_query_columns(query).get(table, ()):
+            weights[column] = weights.get(column, 0) + 1
+    return weights

@@ -1,0 +1,225 @@
+"""Deterministic TPC-C / CH-benCHmark data generation.
+
+Generates table rows with consistent foreign keys at any scale. Values
+follow TPC-C's ranges where they matter to the queries (item ids, delivery
+dates, quantities, amounts); text columns get cheap deterministic filler.
+All randomness is seeded, so tests and benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.format.schema import Value
+from repro.workloads.chbench import ch_table, row_counts
+
+__all__ = [
+    "DATE_EPOCH",
+    "DATE_HORIZON",
+    "generate_table",
+    "generate_database",
+]
+
+#: Synthetic date range (days) used for *_d / *_date columns.
+DATE_EPOCH = 1_000
+DATE_HORIZON = 3_000
+
+
+def _filler(rng: np.random.RandomState, width: int) -> bytes:
+    return bytes(rng.randint(65, 91, size=width, dtype=np.uint8))
+
+
+def generate_table(
+    table: str, counts: Dict[str, int], seed: int = 7
+) -> Iterator[Dict[str, Value]]:
+    """Yield ``counts[table]`` rows for ``table``.
+
+    ``counts`` must contain every table so foreign keys stay in range
+    (e.g. ``ol_i_id`` points into the generated ITEM rows).
+    """
+    schema = ch_table(table)
+    n = counts.get(table)
+    if n is None:
+        raise SchemaError(f"counts missing table {table!r}")
+    # Generators derive foreign keys from other tables' counts.
+    required = {"warehouse", "district", "customer", "order", "item"}
+    missing = sorted(required - set(counts))
+    if missing:
+        raise SchemaError(f"counts missing foreign-key tables {missing}")
+    rng = np.random.RandomState(seed * 1000 + len(table))
+    generator = _GENERATORS.get(table)
+    if generator is None:
+        raise SchemaError(f"no generator for table {table!r}")
+    for i in range(n):
+        yield generator(i, counts, rng, schema)
+
+
+def generate_database(
+    scale: float, seed: int = 7, tables: List[str] = None
+) -> Dict[str, List[Dict[str, Value]]]:
+    """Generate all (or selected) tables at ``scale``."""
+    counts = row_counts(scale)
+    names = tables if tables is not None else list(counts)
+    return {t: list(generate_table(t, counts, seed)) for t in names}
+
+
+def _warehouse(i, counts, rng, schema):
+    return {
+        "w_id": i + 1,
+        "w_name": _filler(rng, 10),
+        "w_street_1": _filler(rng, 20),
+        "w_street_2": _filler(rng, 20),
+        "w_city": _filler(rng, 20),
+        "w_state": int(rng.randint(0, 50)),
+        "w_zip": _filler(rng, 9),
+        "w_tax": int(rng.randint(0, 2000)),
+        "w_ytd": 300_000,
+    }
+
+
+def _district(i, counts, rng, schema):
+    warehouses = counts["warehouse"]
+    return {
+        "d_id": i % 10 + 1,
+        "d_w_id": i // 10 % warehouses + 1,
+        "d_name": _filler(rng, 10),
+        "d_street_1": _filler(rng, 20),
+        "d_street_2": _filler(rng, 20),
+        "d_city": _filler(rng, 20),
+        "d_state": int(rng.randint(0, 50)),
+        "d_zip": _filler(rng, 9),
+        "d_tax": int(rng.randint(0, 2000)),
+        "d_ytd": 30_000,
+        "d_next_o_id": 3001,
+    }
+
+
+def _customer(i, counts, rng, schema):
+    warehouses = counts["warehouse"]
+    return {
+        "c_id": i + 1,
+        "c_d_id": i % 10 + 1,
+        "c_w_id": i % warehouses + 1,
+        "c_first": _filler(rng, 16),
+        "c_middle": b"OE",
+        "c_last": _filler(rng, 16),
+        "c_street_1": _filler(rng, 20),
+        "c_street_2": _filler(rng, 20),
+        "c_city": _filler(rng, 20),
+        "c_state": int(rng.randint(0, 50)),
+        "c_zip": _filler(rng, 9),
+        "c_phone": _filler(rng, 16),
+        "c_since": int(rng.randint(DATE_EPOCH, DATE_HORIZON)),
+        "c_credit": int(rng.randint(0, 2)),
+        "c_credit_lim": 50_000,
+        "c_discount": int(rng.randint(0, 5000)),
+        "c_balance": 10,
+        "c_ytd_payment": 10,
+        "c_payment_cnt": 1,
+        "c_delivery_cnt": 0,
+        "c_data": _filler(rng, 152),
+    }
+
+
+def _history(i, counts, rng, schema):
+    warehouses = counts["warehouse"]
+    customers = counts["customer"]
+    return {
+        "h_c_id": i % customers + 1,
+        "h_c_d_id": i % 10 + 1,
+        "h_c_w_id": i % warehouses + 1,
+        "h_d_id": i % 10 + 1,
+        "h_w_id": i % warehouses + 1,
+        "h_date": int(rng.randint(DATE_EPOCH, DATE_HORIZON)),
+        "h_amount": 1000,
+        "h_data": _filler(rng, 24),
+    }
+
+
+def _neworder(i, counts, rng, schema):
+    warehouses = counts["warehouse"]
+    return {
+        "no_o_id": i + 1,
+        "no_d_id": i % 10 + 1,
+        "no_w_id": i % warehouses + 1,
+    }
+
+
+def _order(i, counts, rng, schema):
+    warehouses = counts["warehouse"]
+    customers = counts["customer"]
+    return {
+        "o_id": i + 1,
+        "o_d_id": i % 10 + 1,
+        "o_w_id": i % warehouses + 1,
+        "o_c_id": int(rng.randint(1, customers + 1)),
+        "o_entry_d": int(rng.randint(DATE_EPOCH, DATE_HORIZON)),
+        "o_carrier_id": int(rng.randint(0, 11)),
+        "o_ol_cnt": int(rng.randint(5, 16)),
+        "o_all_local": 1,
+    }
+
+
+def _orderline(i, counts, rng, schema):
+    warehouses = counts["warehouse"]
+    orders = counts["order"]
+    items = counts["item"]
+    return {
+        # (ol_o_id, ol_number) stays unique while |ORDERLINE| <= 15·|ORDER|
+        # (the paper's sizing has the ratio at 10).
+        "ol_o_id": i % orders + 1,
+        "ol_d_id": i % 10 + 1,
+        "ol_w_id": i % warehouses + 1,
+        "ol_number": i // orders % 15 + 1,
+        "ol_i_id": int(rng.randint(1, items + 1)),
+        "ol_supply_w_id": i % warehouses + 1,
+        "ol_delivery_d": int(rng.randint(DATE_EPOCH, DATE_HORIZON)),
+        "ol_quantity": int(rng.randint(1, 11)),
+        "ol_amount": int(rng.randint(1, 10_000)),
+        "ol_dist_info": _filler(rng, 24),
+    }
+
+
+def _item(i, counts, rng, schema):
+    return {
+        "i_id": i + 1,
+        "i_im_id": int(rng.randint(1, 10_001)),
+        "i_name": _filler(rng, 24),
+        "i_price": int(rng.randint(100, 10_001)),
+        "i_data": _filler(rng, 50),
+    }
+
+
+def _stock(i, counts, rng, schema):
+    warehouses = counts["warehouse"]
+    items = counts["item"]
+    row = {
+        # With |STOCK| == |ITEM| (the paper's sizing), (s_w_id, s_i_id)
+        # stays unique because lcm(W, |ITEM|) >= |ITEM|.
+        "s_i_id": i % items + 1,
+        "s_w_id": i % warehouses + 1,
+        "s_quantity": int(rng.randint(10, 101)),
+        "s_ytd": 0,
+        "s_order_cnt": 0,
+        "s_remote_cnt": 0,
+        "s_data": _filler(rng, 50),
+    }
+    for d in range(1, 11):
+        row[f"s_dist_{d:02d}"] = _filler(rng, 24)
+    return row
+
+
+_GENERATORS = {
+    "warehouse": _warehouse,
+    "district": _district,
+    "customer": _customer,
+    "history": _history,
+    "neworder": _neworder,
+    "order": _order,
+    "orderline": _orderline,
+    "item": _item,
+    "stock": _stock,
+}

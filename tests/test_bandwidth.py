@@ -1,0 +1,126 @@
+"""Effective-bandwidth and storage models (§4.1, Fig. 8)."""
+
+import pytest
+
+from repro.core.config import dimm_system, hbm_system
+from repro.errors import LayoutError
+from repro.format.bandwidth import (
+    cpu_effective_bandwidth,
+    cpu_lines_per_row,
+    pim_column_efficiency,
+    pim_effective_bandwidth,
+    storage_breakdown,
+)
+from repro.format.binpack import compact_aligned_layout
+from repro.format.naive import naive_aligned_layout
+from repro.format.schema import Column, TableSchema
+
+GEOM = dimm_system().geometry
+
+SCHEMA = TableSchema.of(
+    "t",
+    [Column("k8", 8), Column("k4", 4), Column("k2", 2), Column("n", 34, kind="bytes")],
+)
+KEYS = ["k8", "k4", "k2"]
+
+
+class TestCPUModel:
+    def test_lines_per_row_counts_parts(self):
+        layout = compact_aligned_layout(SCHEMA, KEYS, 8, 0.0)
+        # One dense part of width <= 8 -> one interleaved line.
+        assert cpu_lines_per_row(layout, GEOM) == layout.num_parts
+
+    def test_effective_bandwidth_definition(self):
+        layout = compact_aligned_layout(SCHEMA, KEYS, 8, 0.0)
+        lines = cpu_lines_per_row(layout, GEOM)
+        expected = SCHEMA.row_bytes / (lines * 64)
+        assert cpu_effective_bandwidth(layout, GEOM) == pytest.approx(expected)
+
+    def test_cpu_bandwidth_degrades_with_th(self):
+        low = cpu_effective_bandwidth(compact_aligned_layout(SCHEMA, KEYS, 8, 0.0), GEOM)
+        high = cpu_effective_bandwidth(compact_aligned_layout(SCHEMA, KEYS, 8, 1.0), GEOM)
+        assert high <= low
+
+    def test_hbm_granularity_hurts_small_rows(self):
+        """§8: 64 B granularity wastes bandwidth on small columns."""
+        layout = compact_aligned_layout(SCHEMA, KEYS, 8, 0.6)
+        dimm = cpu_effective_bandwidth(layout, GEOM)
+        hbm = cpu_effective_bandwidth(layout, hbm_system().geometry)
+        assert hbm < dimm
+
+
+class TestPIMModel:
+    def test_efficiency_is_width_over_part_width(self):
+        layout = compact_aligned_layout(SCHEMA, KEYS, 8, 0.0)
+        part = layout.part_of_key_column("k2")
+        assert pim_column_efficiency(layout, "k2") == pytest.approx(2 / part.row_width)
+
+    def test_dedicated_parts_are_fully_efficient(self):
+        layout = compact_aligned_layout(SCHEMA, KEYS, 8, 1.0)
+        for key in KEYS:
+            assert pim_column_efficiency(layout, key) == 1.0
+
+    def test_weighted_average(self):
+        layout = compact_aligned_layout(SCHEMA, KEYS, 8, 1.0)
+        assert pim_effective_bandwidth(layout, {"k8": 3, "k4": 1}) == 1.0
+
+    def test_zero_weights_give_zero(self):
+        layout = compact_aligned_layout(SCHEMA, KEYS, 8, 1.0)
+        assert pim_effective_bandwidth(layout, {}) == 0.0
+        assert pim_effective_bandwidth(layout, {"k8": 0}) == 0.0
+
+    def test_non_key_weight_rejected(self):
+        layout = compact_aligned_layout(SCHEMA, KEYS, 8, 1.0)
+        with pytest.raises(LayoutError):
+            pim_effective_bandwidth(layout, {"n": 1})
+
+    def test_pim_bandwidth_improves_with_th(self):
+        weights = {"k8": 1, "k4": 1, "k2": 1}
+        low = pim_effective_bandwidth(compact_aligned_layout(SCHEMA, KEYS, 8, 0.0), weights)
+        high = pim_effective_bandwidth(compact_aligned_layout(SCHEMA, KEYS, 8, 1.0), weights)
+        assert high >= low
+
+
+class TestNaiveVsCompact:
+    def test_compact_stores_less(self):
+        naive = naive_aligned_layout(SCHEMA, 8)
+        compact = compact_aligned_layout(SCHEMA, KEYS, 8, 0.6)
+        assert compact.bytes_per_row() <= naive.bytes_per_row()
+
+    def test_naive_covers_all_columns(self):
+        naive = naive_aligned_layout(SCHEMA, 8)
+        assert naive.useful_bytes_per_row() == SCHEMA.row_bytes
+        assert set(naive.key_columns) == set(SCHEMA.column_names)
+
+
+class TestStorageBreakdown:
+    def test_components_sum(self):
+        layout = compact_aligned_layout(SCHEMA, KEYS, 8, 0.6)
+        sb = storage_breakdown(layout, 10_000, delta_fraction=0.1)
+        assert sb.total_bytes == sb.data_bytes + sb.padding_bytes + sb.bitmap_bytes
+
+    def test_data_scales_with_rows(self):
+        layout = compact_aligned_layout(SCHEMA, KEYS, 8, 0.6)
+        small = storage_breakdown(layout, 1_000)
+        large = storage_breakdown(layout, 2_000)
+        assert large.data_bytes == pytest.approx(2 * small.data_bytes, rel=0.01)
+
+    def test_bitmap_fraction_small(self):
+        """Fig. 8b: the snapshot bitmap is a small overhead (2.3 % in the paper)."""
+        layout = compact_aligned_layout(SCHEMA, KEYS, 8, 0.6)
+        sb = storage_breakdown(layout, 100_000)
+        assert 0 < sb.bitmap_fraction < 0.05
+
+    def test_merge(self):
+        layout = compact_aligned_layout(SCHEMA, KEYS, 8, 0.6)
+        a = storage_breakdown(layout, 1_000)
+        b = storage_breakdown(layout, 500)
+        merged = a.merge(b)
+        assert merged.data_bytes == a.data_bytes + b.data_bytes
+
+    def test_validation(self):
+        layout = compact_aligned_layout(SCHEMA, KEYS, 8, 0.6)
+        with pytest.raises(LayoutError):
+            storage_breakdown(layout, -1)
+        with pytest.raises(LayoutError):
+            storage_breakdown(layout, 10, delta_fraction=-0.5)

@@ -1,0 +1,126 @@
+"""Baseline models: ideal, multi-instance, PUSHtap analytic, original PIM."""
+
+import pytest
+
+from repro.baselines.ideal import IdealOLAPModel
+from repro.baselines.multi_instance import MultiInstanceModel
+from repro.baselines.original_pim import wram_sweep
+from repro.baselines.pushtap_model import PushTapQueryModel
+from repro.core.config import dimm_system, hbm_system
+from repro.errors import QueryError
+from repro.units import KIB
+
+COLUMNS = [(1_000_000, 4), (1_000_000, 8)]
+
+
+class TestIdeal:
+    def test_query_time_is_sum_of_scans(self):
+        model = IdealOLAPModel(dimm_system())
+        total = model.query_time(COLUMNS)
+        parts = sum(model.column_time(r, w).total_time for r, w in COLUMNS)
+        assert total == pytest.approx(parts)
+
+
+class TestMultiInstance:
+    def test_rebuild_grows_linearly(self):
+        model = MultiInstanceModel(dimm_system())
+        small = model.rebuild_cost(10_000)
+        large = model.rebuild_cost(1_000_000)
+        variable_small = small.total - small.fixed
+        variable_large = large.total - large.fixed
+        assert variable_large == pytest.approx(100 * variable_small, rel=0.01)
+
+    def test_accelerator_reduces_rebuild(self):
+        base = MultiInstanceModel(dimm_system())
+        accel = MultiInstanceModel(dimm_system(), accelerator_speedup=6.0)
+        assert accel.rebuild_cost(10**6).total < base.rebuild_cost(10**6).total
+
+    def test_query_time_includes_rebuild(self):
+        model = MultiInstanceModel(dimm_system())
+        assert model.query_time(COLUMNS, 10**6) == pytest.approx(
+            model.rebuild_cost(10**6).total + model.scan_time(COLUMNS)
+        )
+
+    def test_negative_txns_rejected(self):
+        with pytest.raises(QueryError):
+            MultiInstanceModel(dimm_system()).rebuild_cost(-1)
+
+
+class TestPushTapModel:
+    def test_snapshot_scales_with_pending(self):
+        model = PushTapQueryModel(dimm_system())
+        assert model.snapshot_time(2_000) == pytest.approx(2 * model.snapshot_time(1_000))
+
+    def test_query_consistency_bounded_by_defrag_window(self):
+        """Beyond one defrag period, only the lazy-metadata term grows."""
+        model = PushTapQueryModel(dimm_system())
+        at_period = model.query_consistency(model.defrag_period)
+        at_10x = model.query_consistency(10 * model.defrag_period)
+        lazy_extra = (
+            9 * model.defrag_period * model.lazy_metadata_bytes_per_txn
+        ) / dimm_system().total_cpu_bandwidth
+        assert at_10x == pytest.approx(at_period + lazy_extra)
+
+    def test_fragmentation_inflates_scan(self):
+        model = PushTapQueryModel(dimm_system())
+        assert model.scan_time(COLUMNS, delta_fraction=0.5) > model.scan_time(COLUMNS)
+
+    def test_efficiency_inflates_scan(self):
+        fast = PushTapQueryModel(dimm_system(), pim_efficiency=1.0)
+        slow = PushTapQueryModel(dimm_system(), pim_efficiency=0.5)
+        assert slow.scan_time(COLUMNS) > fast.scan_time(COLUMNS)
+
+    def test_defrag_strategies(self):
+        model = PushTapQueryModel(dimm_system())
+        n = 10_000
+        hybrid = model.defrag_time(n, "hybrid")
+        cpu = model.defrag_time(n, "cpu")
+        pim = model.defrag_time(n, "pim")
+        assert hybrid <= cpu + 1e-6
+        assert hybrid <= pim + 1e-6
+
+    def test_hbm_cpu_strategy_always(self):
+        """With CPU bandwidth above PIM bandwidth (HBM), Eq. 3 has no
+        crossover and the hybrid equals the CPU strategy."""
+        model = PushTapQueryModel(hbm_system())
+        assert model.defrag_time(1_000, "hybrid") == pytest.approx(
+            model.defrag_time(1_000, "cpu")
+        )
+
+    def test_validation(self):
+        model = PushTapQueryModel(dimm_system())
+        with pytest.raises(QueryError):
+            model.snapshot_time(-1)
+        with pytest.raises(QueryError):
+            model.scan_time(COLUMNS, delta_fraction=-0.1)
+
+
+class TestPUSHtapBeatsMI:
+    """The paper's central comparison holds across scales."""
+
+    @pytest.mark.parametrize("num_txns", [100_000, 1_000_000, 8_000_000])
+    def test_pushtap_query_cheaper_than_mi(self, num_txns):
+        config = dimm_system()
+        mi = MultiInstanceModel(config)
+        pushtap = PushTapQueryModel(config)
+        assert pushtap.query_time(COLUMNS, num_txns) < mi.query_time(COLUMNS, num_txns)
+
+    def test_gap_widens_with_txns(self):
+        config = dimm_system()
+        mi = MultiInstanceModel(config)
+        pushtap = PushTapQueryModel(config)
+        gap_small = mi.query_time(COLUMNS, 10**5) / pushtap.query_time(COLUMNS, 10**5)
+        gap_large = mi.query_time(COLUMNS, 8 * 10**6) / pushtap.query_time(COLUMNS, 8 * 10**6)
+        assert gap_large > gap_small
+
+
+class TestWramSweep:
+    def test_sweep_shapes(self):
+        sizes = (16 * KIB, 64 * KIB, 256 * KIB)
+        original = wram_sweep(dimm_system(), 10**7, 8, sizes, "original")
+        pushtap = wram_sweep(dimm_system(), 10**7, 8, sizes, "pushtap")
+        # Original improves sharply with WRAM; PUSHtap barely moves (§7.5).
+        orig_gain = original[16 * KIB].total_time / original[256 * KIB].total_time
+        push_gain = pushtap[16 * KIB].total_time / pushtap[256 * KIB].total_time
+        assert orig_gain > 3.0
+        assert push_gain < 2.0

@@ -1,0 +1,132 @@
+"""Memory controller models: original vs PUSHtap (§6.1)."""
+
+import pytest
+
+from repro.core.config import DDR5_3200_TIMINGS, DeviceGeometry, PIMUnitConfig, dimm_system
+from repro.errors import ProtocolError
+from repro.pim.controller import (
+    OriginalController,
+    PushTapController,
+    SPECIAL_ADDRESS,
+)
+from repro.pim.device import Device
+from repro.pim.pim_unit import PIMUnit
+from repro.pim.requests import LaunchRequest, OpType
+
+
+def make_units(n=4):
+    device = Device(0, 8 * 4096, num_banks=8)
+    cfg = PIMUnitConfig()
+    return [
+        PIMUnit(i, device.banks[i], cfg, DDR5_3200_TIMINGS, DeviceGeometry())
+        for i in range(n)
+    ]
+
+
+LS = LaunchRequest(OpType.LS, {"op0_len": 64})
+FILTER = LaunchRequest(OpType.FILTER, {"data_width": 4})
+
+
+class TestOriginalController:
+    def test_launch_messages_every_unit(self):
+        cfg = dimm_system()
+        ctrl = OriginalController(cfg, make_units(4))
+        cost = ctrl.launch(FILTER)
+        assert cost.cpu_time == pytest.approx(4 * cfg.unit_message_latency)
+        assert cost.handover_time > 0
+
+    def test_banks_locked_even_for_compute(self):
+        ctrl = OriginalController(dimm_system(), make_units())
+        ctrl.launch(FILTER)
+        assert all(u.bank.locked for u in ctrl.units)
+        assert ctrl.locks_banks_during_compute
+
+    def test_poll_messages_every_unit(self):
+        cfg = dimm_system()
+        ctrl = OriginalController(cfg, make_units(4))
+        cost = ctrl.poll()
+        assert cost.cpu_time == pytest.approx(4 * cfg.unit_message_latency)
+
+    def test_finish_releases_banks(self):
+        ctrl = OriginalController(dimm_system(), make_units())
+        ctrl.launch(FILTER)
+        ctrl.finish(FILTER)
+        assert not any(u.bank.locked for u in ctrl.units)
+
+
+class TestPushTapController:
+    def test_launch_is_single_request(self):
+        cfg = dimm_system()
+        ctrl = PushTapController(cfg, make_units(4))
+        cost = ctrl.launch(FILTER)
+        assert cost.cpu_time == cfg.controller_request_latency
+        ctrl.finish(FILTER)
+
+    def test_compute_leaves_banks_unlocked(self):
+        """§6.1: only LS/Defragment hand over bank control."""
+        ctrl = PushTapController(dimm_system(), make_units())
+        ctrl.launch(FILTER)
+        assert not any(u.bank.locked for u in ctrl.units)
+        assert not ctrl.locks_banks_during_compute
+        ctrl.finish(FILTER)
+
+    def test_ls_locks_banks(self):
+        ctrl = PushTapController(dimm_system(), make_units())
+        cost = ctrl.launch(LS)
+        assert cost.handover_time > 0
+        assert all(u.bank.locked for u in ctrl.units)
+        ctrl.finish(LS)
+        assert not any(u.bank.locked for u in ctrl.units)
+
+    def test_cheaper_than_original(self):
+        cfg = dimm_system()
+        units = make_units(8)
+        original = OriginalController(cfg, units).launch(FILTER).total
+        pushtap = PushTapController(cfg, units).launch(FILTER).total
+        assert pushtap < original
+
+    def test_pending_protocol(self):
+        ctrl = PushTapController(dimm_system(), make_units())
+        ctrl.launch(FILTER)
+        assert ctrl.pending is not None
+        with pytest.raises(ProtocolError):
+            ctrl.launch(FILTER)
+        with pytest.raises(ProtocolError):
+            ctrl.finish(LS)
+        ctrl.finish(FILTER)
+        assert ctrl.pending is None
+
+    def test_stats(self):
+        ctrl = PushTapController(dimm_system(), make_units())
+        ctrl.launch(LS)
+        ctrl.finish(LS)
+        ctrl.poll()
+        assert ctrl.stats.launches == 1
+        assert ctrl.stats.polls == 1
+        assert ctrl.stats.handovers == 1
+        assert ctrl.stats.control_time > 0
+
+
+class TestDisguisedMemoryAccess:
+    """Launch/poll ride ordinary reads/writes to the special address."""
+
+    def test_write_to_special_address_launches(self):
+        ctrl = PushTapController(dimm_system(), make_units())
+        cost = ctrl.memory_write(SPECIAL_ADDRESS, FILTER.encode())
+        assert cost is not None
+        assert ctrl.pending.op == OpType.FILTER
+
+    def test_normal_write_passes_through(self):
+        ctrl = PushTapController(dimm_system(), make_units())
+        assert ctrl.memory_write(0x1000, b"x" * 64) is None
+
+    def test_read_of_special_address_polls(self):
+        ctrl = PushTapController(dimm_system(), make_units())
+        assert ctrl.memory_read(SPECIAL_ADDRESS) is not None
+        assert ctrl.memory_read(0x2000) is None
+        assert ctrl.stats.polls == 1
+
+    def test_malformed_payload_rejected(self):
+        ctrl = PushTapController(dimm_system(), make_units())
+        with pytest.raises(ProtocolError):
+            ctrl.memory_write(SPECIAL_ADDRESS, b"short")

@@ -1,0 +1,147 @@
+"""Two-phase execution (§6.2) over a synthetic chunked operation."""
+
+import pytest
+
+from repro.core.config import DDR5_3200_TIMINGS, DeviceGeometry, PIMUnitConfig, dimm_system
+from repro.errors import QueryError
+from repro.pim.controller import OriginalController, PushTapController
+from repro.pim.device import Device
+from repro.pim.executor import ExecutionResult, TwoPhaseExecutor
+from repro.pim.pim_unit import PIMUnit
+from repro.pim.requests import LaunchRequest, OpType
+
+
+def make_units(n=4):
+    device = Device(0, 8 * 4096, num_banks=8)
+    cfg = PIMUnitConfig()
+    return [
+        PIMUnit(i, device.banks[i], cfg, DDR5_3200_TIMINGS, DeviceGeometry())
+        for i in range(n)
+    ]
+
+
+class FakeOp:
+    """Three phases; per-unit load 100 ns, compute 50 ns."""
+
+    def __init__(self, units, chunks=3, load_ns=100.0, compute_ns=50.0):
+        self.units = units
+        self.chunks = chunks
+        self.load_ns = load_ns
+        self.compute_ns = compute_ns
+        self.calls = []
+
+    def num_chunks(self):
+        return self.chunks
+
+    def participating_units(self):
+        return self.units
+
+    def load_request(self, chunk):
+        return LaunchRequest(OpType.LS, {"op0_len": 64})
+
+    def compute_request(self, chunk):
+        return LaunchRequest(OpType.FILTER, {"data_width": 4})
+
+    def load(self, unit, chunk):
+        self.calls.append(("load", unit.unit_id, chunk))
+        return self.load_ns
+
+    def compute(self, unit, chunk):
+        self.calls.append(("compute", unit.unit_id, chunk))
+        return self.compute_ns
+
+
+class TestPhaseAccounting:
+    def test_all_phases_run_on_all_units(self):
+        units = make_units(4)
+        executor = TwoPhaseExecutor(PushTapController(dimm_system(), units))
+        op = FakeOp(units)
+        result = executor.execute(op)
+        assert result.phases == 3
+        loads = [c for c in op.calls if c[0] == "load"]
+        assert len(loads) == 12  # 4 units x 3 chunks
+
+    def test_wall_time_is_max_not_sum(self):
+        units = make_units(4)
+        executor = TwoPhaseExecutor(PushTapController(dimm_system(), units))
+        result = executor.execute(FakeOp(units, chunks=1))
+        assert result.load_time == pytest.approx(100.0)
+        assert result.compute_time == pytest.approx(50.0)
+
+    def test_totals_compose(self):
+        units = make_units(2)
+        executor = TwoPhaseExecutor(PushTapController(dimm_system(), units))
+        result = executor.execute(FakeOp(units))
+        assert result.total_time == pytest.approx(
+            result.load_time + result.compute_time + result.control_time
+        )
+        assert len(result.traces) == 3
+
+    def test_merge(self):
+        a = ExecutionResult(total_time=10, cpu_blocked_time=5, phases=1)
+        b = ExecutionResult(total_time=20, cpu_blocked_time=5, phases=2)
+        merged = a.merge(b)
+        assert merged.total_time == 30
+        assert merged.phases == 3
+
+
+class TestCPUBlocking:
+    """The headline §6.2 property: PUSHtap frees the CPU during compute."""
+
+    def test_pushtap_not_blocked_during_compute(self):
+        units = make_units(2)
+        executor = TwoPhaseExecutor(PushTapController(dimm_system(), units))
+        result = executor.execute(FakeOp(units, chunks=1))
+        assert result.cpu_blocked_time < result.total_time
+        # load yes, compute no
+        assert result.cpu_blocked_time >= result.load_time
+
+    def test_original_blocked_throughout(self):
+        units = make_units(2)
+        executor = TwoPhaseExecutor(OriginalController(dimm_system(), units))
+        result = executor.execute(FakeOp(units, chunks=1))
+        assert result.cpu_blocked_time == pytest.approx(result.total_time)
+
+    def test_pushtap_blocks_less_than_original(self):
+        units = make_units(8)
+        op_a = FakeOp(units)
+        pushtap = TwoPhaseExecutor(PushTapController(dimm_system(), units)).execute(op_a)
+        op_b = FakeOp(units)
+        original = TwoPhaseExecutor(OriginalController(dimm_system(), units)).execute(op_b)
+        assert pushtap.cpu_blocked_time < original.cpu_blocked_time
+        assert pushtap.control_time < original.control_time
+
+
+class TestValidation:
+    def test_rejects_empty_units(self):
+        executor = TwoPhaseExecutor(PushTapController(dimm_system(), make_units()))
+        op = FakeOp([])
+        with pytest.raises(QueryError):
+            executor.execute(op)
+
+    def test_rejects_non_ls_load(self):
+        units = make_units(1)
+        executor = TwoPhaseExecutor(PushTapController(dimm_system(), units))
+
+        class BadOp(FakeOp):
+            def load_request(self, chunk):
+                return LaunchRequest(OpType.FILTER, {})
+
+        with pytest.raises(QueryError):
+            executor.execute(BadOp(units))
+
+    def test_rejects_dram_compute(self):
+        units = make_units(1)
+        executor = TwoPhaseExecutor(PushTapController(dimm_system(), units))
+
+        class BadOp(FakeOp):
+            def compute_request(self, chunk):
+                return LaunchRequest(OpType.LS, {})
+
+        with pytest.raises(QueryError):
+            executor.execute(BadOp(units))
+
+    def test_control_fraction(self):
+        result = ExecutionResult(total_time=100.0, control_time=25.0)
+        assert result.control_fraction == 0.25
+        assert ExecutionResult().control_fraction == 0.0

@@ -1,0 +1,233 @@
+"""MVCC: timestamps, version chains, regions, and the manager (§5.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TransactionError
+from repro.mvcc.manager import MVCCManager
+from repro.mvcc.metadata import (
+    METADATA_BYTES,
+    Region,
+    RowRef,
+    VersionChain,
+    VersionEntry,
+)
+from repro.mvcc.regions import DataRegion, DeltaAllocator
+from repro.mvcc.timestamps import TimestampOracle
+
+
+class TestTimestampOracle:
+    def test_monotonic(self):
+        oracle = TimestampOracle()
+        assert oracle.next_timestamp() == 1
+        assert oracle.next_timestamp() == 2
+        assert oracle.last_issued == 2
+
+    def test_read_timestamp_sees_committed(self):
+        oracle = TimestampOracle()
+        oracle.next_timestamp()
+        assert oracle.read_timestamp() == 1
+
+
+class TestVersionChain:
+    def make_chain(self):
+        origin = VersionEntry(0, RowRef(Region.DATA, 5))
+        chain = VersionChain(5, origin)
+        chain.install(VersionEntry(3, RowRef(Region.DELTA, 0)))
+        chain.install(VersionEntry(7, RowRef(Region.DELTA, 1)))
+        return chain
+
+    def test_metadata_size_constant(self):
+        assert METADATA_BYTES == 16  # the paper's m = 16
+
+    def test_visibility(self):
+        chain = self.make_chain()
+        assert chain.visible_at(0).location == RowRef(Region.DATA, 5)
+        assert chain.visible_at(3).location == RowRef(Region.DELTA, 0)
+        assert chain.visible_at(6).location == RowRef(Region.DELTA, 0)
+        assert chain.visible_at(100).location == RowRef(Region.DELTA, 1)
+
+    def test_length_and_versions(self):
+        chain = self.make_chain()
+        assert chain.length() == 3
+        assert [v.write_ts for v in chain.versions()] == [7, 3, 0]
+
+    def test_install_requires_newer_ts(self):
+        chain = self.make_chain()
+        with pytest.raises(TransactionError):
+            chain.install(VersionEntry(7, RowRef(Region.DELTA, 9)))
+
+    def test_read_ts_tracking(self):
+        chain = self.make_chain()
+        entry = chain.visible_at(5)
+        entry.observe_read(5)
+        entry.observe_read(4)
+        assert entry.read_ts == 5
+
+    def test_truncate_to_head(self):
+        chain = self.make_chain()
+        stale = chain.truncate_to_head()
+        assert len(stale) == 2
+        assert chain.length() == 1
+
+    def test_stale_refs(self):
+        assert len(self.make_chain().stale_refs()) == 2
+
+    def test_rowref_validation(self):
+        with pytest.raises(TransactionError):
+            RowRef("nowhere", 0)
+        with pytest.raises(TransactionError):
+            RowRef(Region.DATA, -1)
+
+
+class TestDataRegion:
+    def test_blocks_and_rotation(self):
+        region = DataRegion(5000, 1024, 8)
+        assert region.num_blocks == 5
+        assert region.block_of(1023) == 0
+        assert region.block_of(1024) == 1
+        assert region.rotation_of(1024) == 1
+
+    def test_bounds(self):
+        region = DataRegion(100, 64, 8)
+        with pytest.raises(TransactionError):
+            region.block_of(100)
+
+
+class TestDeltaAllocator:
+    def test_rotation_respected(self):
+        alloc = DeltaAllocator(block_rows=64, num_devices=4, capacity_blocks=8)
+        for rotation in range(4):
+            index = alloc.allocate(rotation)
+            assert alloc.rotation_of(index) == rotation
+
+    def test_release_and_reuse(self):
+        alloc = DeltaAllocator(64, 4, 8)
+        index = alloc.allocate(2)
+        alloc.release(index)
+        assert not alloc.is_allocated(index)
+        again = alloc.allocate(2)
+        assert alloc.rotation_of(again) == 2
+
+    def test_capacity_enforced(self):
+        alloc = DeltaAllocator(4, 2, 2)
+        for _ in range(4):
+            alloc.allocate(0)
+        with pytest.raises(TransactionError, match="full"):
+            alloc.allocate(0)
+
+    def test_release_all(self):
+        alloc = DeltaAllocator(16, 4, 8)
+        for rotation in range(4):
+            alloc.allocate(rotation)
+        assert alloc.release_all() == 4
+        assert alloc.allocated_rows == 0
+
+    def test_double_release_rejected(self):
+        alloc = DeltaAllocator(16, 4, 8)
+        index = alloc.allocate(0)
+        alloc.release(index)
+        with pytest.raises(TransactionError):
+            alloc.release(index)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=3), max_size=60))
+    def test_allocation_invariants(self, rotations):
+        alloc = DeltaAllocator(block_rows=8, num_devices=4, capacity_blocks=64)
+        seen = set()
+        for rotation in rotations:
+            index = alloc.allocate(rotation)
+            assert index not in seen
+            seen.add(index)
+            assert alloc.rotation_of(index) == rotation
+        assert alloc.allocated_rows == len(seen)
+        assert alloc.high_water_rows >= alloc.allocated_rows
+
+
+class TestMVCCManager:
+    def make(self, rows=100):
+        return MVCCManager(
+            initial_rows=rows,
+            capacity_rows=256,
+            block_rows=32,
+            num_devices=8,
+            delta_capacity_blocks=16,
+        )
+
+    def test_unversioned_read(self):
+        mv = self.make()
+        assert mv.read(5, 10) == RowRef(Region.DATA, 5)
+        assert mv.chain_length(5) == 1
+
+    def test_update_creates_delta_version(self):
+        mv = self.make()
+        ref = mv.update(5, ts=3)
+        assert ref.region == Region.DELTA
+        assert mv.read(5, 3) == ref
+        assert mv.read(5, 2) == RowRef(Region.DATA, 5)
+        assert mv.chain_length(5) == 2
+
+    def test_update_matches_rotation(self):
+        """§5.1: new versions share their origin row's rotation."""
+        mv = self.make()
+        for row in (0, 33, 70):
+            ref = mv.update(row, ts=row + 1)
+            assert mv.delta.rotation_of(ref.index) == mv.data.rotation_of(row)
+
+    def test_insert_appends(self):
+        mv = self.make(rows=100)
+        row_id, ref = mv.insert(ts=5)
+        assert row_id == 100
+        assert mv.num_rows == 101
+        assert mv.read(row_id, 5) == ref
+        with pytest.raises(TransactionError):
+            mv.read(row_id, 4)
+
+    def test_insert_capacity(self):
+        mv = MVCCManager(4, 4, 32, 8, 4)
+        with pytest.raises(TransactionError, match="full"):
+            mv.insert(1)
+
+    def test_delete_tombstones(self):
+        mv = self.make()
+        mv.delete(7, ts=4)
+        mv.read(7, 3)
+        with pytest.raises(TransactionError, match="deleted"):
+            mv.read(7, 4)
+        with pytest.raises(TransactionError):
+            mv.delete(7, ts=6)
+
+    def test_log_filtering(self):
+        mv = self.make()
+        mv.update(1, ts=2)
+        mv.update(2, ts=4)
+        mv.insert(ts=6)
+        assert [r.write_ts for r in mv.log_since(2)] == [4, 6]
+        assert [r.write_ts for r in mv.log_between(2, 5)] == [4]
+        assert mv.log_length == 3
+
+    def test_compact_moves_newest_and_truncates(self):
+        mv = self.make()
+        mv.update(1, ts=2)
+        second = mv.update(1, ts=3)
+        moves = mv.compact()
+        assert moves == [(1, second)]
+        assert mv.chain_length(1) == 1
+        assert mv.read(1, 10) == RowRef(Region.DATA, 1)
+        assert mv.delta.allocated_rows == 0
+        assert mv.log_length == 0
+
+    def test_stale_version_count(self):
+        mv = self.make()
+        mv.update(1, ts=2)
+        mv.update(1, ts=3)
+        mv.update(2, ts=4)
+        assert mv.stale_version_count() == 3
+        assert len(mv.updated_chains()) == 2
+
+    def test_out_of_range(self):
+        mv = self.make()
+        with pytest.raises(TransactionError):
+            mv.read(100, 1)
+        with pytest.raises(TransactionError):
+            mv.update(-1, 1)

@@ -1,0 +1,286 @@
+"""OLAP operators, plan glue, and the three analytical queries.
+
+Functional correctness is checked against pure-Python references
+computed from the same MVCC-visible rows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.olap import plan as qplan
+from repro.olap.engine import QueryTiming
+from repro.olap.operators import (
+    AggregationOperation,
+    FilterOperation,
+    GroupOperation,
+    HashOperation,
+    RegionRows,
+)
+from repro.olap.queries import (
+    _Q1_DELIVERY_CUTOFF,
+    _Q6_DELIVERY_HI,
+    _Q6_DELIVERY_LO,
+    _Q6_QTY_HI,
+    _Q6_QTY_LO,
+    _Q9_IM_CUTOFF,
+)
+from repro.pim.pim_unit import Condition
+
+
+def visible_rows(engine, table):
+    """All rows of ``table`` visible at the current read timestamp."""
+    runtime = engine.table(table)
+    ts = engine.db.oracle.read_timestamp()
+    return [runtime.read_row(rid, ts) for rid in range(runtime.num_rows)]
+
+
+def combined_mask_values(op):
+    """Flatten an operator's per-slice results ordered by slice."""
+    out = {}
+    for row_slice, data in op.masks.items():
+        out[row_slice] = data
+    return out
+
+
+class TestFilterOperation:
+    def test_filter_matches_reference(self, worked_engine):
+        engine = worked_engine
+        table = engine.table("orderline")
+        ts = engine.db.oracle.read_timestamp()
+        table.snapshots.update_to(ts)
+        op = FilterOperation(
+            table.storage,
+            engine.units,
+            "ol_quantity",
+            Condition("le", 5),
+            table.region_rows(),
+        )
+        engine.olap.executor.execute(op)
+        matched = sum(int(m.sum()) for m in op.masks.values())
+        reference = sum(1 for r in visible_rows(engine, "orderline") if r["ol_quantity"] <= 5)
+        assert matched == reference
+
+    def test_requires_key_column(self, loaded_engine):
+        table = loaded_engine.table("orderline")
+        with pytest.raises(Exception):
+            FilterOperation(
+                table.storage,
+                loaded_engine.units,
+                "ol_dist_info",
+                Condition("eq", 0),
+                table.region_rows(),
+            )
+
+    def test_empty_scan_rejected(self, loaded_engine):
+        table = loaded_engine.table("orderline")
+        with pytest.raises(QueryError):
+            FilterOperation(
+                table.storage,
+                loaded_engine.units,
+                "ol_quantity",
+                Condition("eq", 0),
+                RegionRows(0, 0),
+            )
+
+
+class TestGroupAndAggregation:
+    def test_group_then_aggregate_matches_reference(self, worked_engine):
+        engine = worked_engine
+        table = engine.table("orderline")
+        ts = engine.db.oracle.read_timestamp()
+        table.snapshots.update_to(ts)
+        rows = table.region_rows()
+        gop = GroupOperation(table.storage, engine.units, "ol_number", rows)
+        engine.olap.executor.execute(gop)
+        merged = qplan.merge_group_blocks(gop)
+        agg = AggregationOperation(
+            table.storage,
+            engine.units,
+            "ol_quantity",
+            rows,
+            merged.indices,
+            merged.num_groups,
+        )
+        engine.olap.executor.execute(agg)
+        totals = agg.total()
+        reference = {}
+        for r in visible_rows(engine, "orderline"):
+            reference[r["ol_number"]] = reference.get(r["ol_number"], 0) + r["ol_quantity"]
+        measured = {
+            int(key): int(totals[g]) for g, key in enumerate(merged.keys) if totals[g]
+        }
+        assert measured == {k: v for k, v in reference.items() if v}
+
+    def test_aggregation_needs_matching_indices(self, loaded_engine):
+        table = loaded_engine.table("orderline")
+        rows = table.region_rows()
+        agg = AggregationOperation(
+            table.storage, loaded_engine.units, "ol_amount", rows, {}, 1
+        )
+        with pytest.raises(QueryError, match="group indices"):
+            loaded_engine.olap.executor.execute(agg)
+
+    def test_aggregation_rejects_zero_groups(self, loaded_engine):
+        table = loaded_engine.table("orderline")
+        with pytest.raises(QueryError):
+            AggregationOperation(
+                table.storage, loaded_engine.units, "ol_amount",
+                table.region_rows(), {}, 0,
+            )
+
+
+class TestPlanHelpers:
+    def test_combine_masks_is_and(self):
+        s = qplan.RowSlice("data", 0, 4)
+
+        class F:
+            def __init__(self, bits):
+                self.masks = {s: np.array(bits, dtype=bool)}
+
+        combined, _ = qplan.combine_masks([F([1, 1, 0, 0]), F([1, 0, 1, 0])])
+        assert list(combined[s]) == [True, False, False, False]
+
+    def test_combine_masks_mismatched_slices(self):
+        class F:
+            def __init__(self, base):
+                self.masks = {qplan.RowSlice("data", base, 2): np.ones(2, dtype=bool)}
+
+        with pytest.raises(QueryError):
+            qplan.combine_masks([F(0), F(2)])
+
+    def test_combine_requires_filters(self):
+        with pytest.raises(QueryError):
+            qplan.combine_masks([])
+
+    def test_masks_to_indices(self):
+        s = qplan.RowSlice("data", 0, 3)
+        indices = qplan.masks_to_indices({s: np.array([True, False, True])})
+        assert list(indices[s]) == [0, qplan.INVALID_GROUP, 0]
+
+    def test_apply_mask_to_indices(self):
+        s = qplan.RowSlice("data", 0, 3)
+        indices = {s: np.array([1, 2, 3], dtype=np.uint16)}
+        masked = qplan.apply_mask_to_indices(indices, {s: np.array([True, False, True])})
+        assert list(masked[s]) == [1, qplan.INVALID_GROUP, 3]
+        with pytest.raises(QueryError):
+            qplan.apply_mask_to_indices(indices, {})
+
+
+class TestHashJoin:
+    def test_join_matches_reference(self, worked_engine):
+        engine = worked_engine
+        item = engine.table("item")
+        orderline = engine.table("orderline")
+        ts = engine.db.oracle.read_timestamp()
+        item.snapshots.update_to(ts)
+        orderline.snapshots.update_to(ts)
+        build = HashOperation(item.storage, engine.units, "i_id", item.region_rows())
+        probe = HashOperation(
+            orderline.storage, engine.units, "ol_i_id", orderline.region_rows()
+        )
+        engine.olap.executor.execute(build)
+        engine.olap.executor.execute(probe)
+        result = qplan.hash_join(build, probe)
+        item_ids = {r["i_id"] for r in visible_rows(engine, "item")}
+        reference = sum(
+            1 for r in visible_rows(engine, "orderline") if r["ol_i_id"] in item_ids
+        )
+        assert result.matches == reference
+
+    def test_join_with_build_mask(self, worked_engine):
+        engine = worked_engine
+        item = engine.table("item")
+        orderline = engine.table("orderline")
+        ts = engine.db.oracle.read_timestamp()
+        item.snapshots.update_to(ts)
+        orderline.snapshots.update_to(ts)
+        item_rows = item.region_rows()
+        f = FilterOperation(
+            item.storage, engine.units, "i_im_id", Condition("le", 100), item_rows
+        )
+        engine.olap.executor.execute(f)
+        build = HashOperation(item.storage, engine.units, "i_id", item_rows)
+        probe = HashOperation(
+            orderline.storage, engine.units, "ol_i_id", orderline.region_rows()
+        )
+        engine.olap.executor.execute(build)
+        engine.olap.executor.execute(probe)
+        result = qplan.hash_join(build, probe, build_masks=f.masks)
+        small = {
+            r["i_id"] for r in visible_rows(engine, "item") if r["i_im_id"] <= 100
+        }
+        reference = sum(
+            1 for r in visible_rows(engine, "orderline") if r["ol_i_id"] in small
+        )
+        assert result.matches == reference
+
+    def test_bad_buckets(self):
+        with pytest.raises(QueryError):
+            qplan.hash_join(None, None, num_buckets=0)
+
+
+class TestQueries:
+    def q6_reference(self, engine):
+        total = 0
+        for r in visible_rows(engine, "orderline"):
+            if (
+                _Q6_DELIVERY_LO <= r["ol_delivery_d"] < _Q6_DELIVERY_HI
+                and _Q6_QTY_LO <= r["ol_quantity"] <= _Q6_QTY_HI
+            ):
+                total += r["ol_amount"]
+        return total
+
+    def test_q6_matches_reference(self, worked_engine):
+        result = worked_engine.query("Q6")
+        assert result.rows["revenue"] == self.q6_reference(worked_engine)
+        assert result.total_time > 0
+
+    def test_q1_matches_reference(self, worked_engine):
+        result = worked_engine.query("Q1")
+        reference = {}
+        for r in visible_rows(worked_engine, "orderline"):
+            if r["ol_delivery_d"] > _Q1_DELIVERY_CUTOFF:
+                g = reference.setdefault(
+                    r["ol_number"], {"sum_qty": 0, "sum_amount": 0, "count": 0}
+                )
+                g["sum_qty"] += r["ol_quantity"]
+                g["sum_amount"] += r["ol_amount"]
+                g["count"] += 1
+        assert result.rows == reference
+
+    def test_q9_matches_reference(self, worked_engine):
+        result = worked_engine.query("Q9")
+        small = {
+            r["i_id"]
+            for r in visible_rows(worked_engine, "item")
+            if r["i_im_id"] <= _Q9_IM_CUTOFF
+        }
+        reference = sum(
+            r["ol_amount"]
+            for r in visible_rows(worked_engine, "orderline")
+            if r["ol_i_id"] in small
+        )
+        assert result.rows["revenue"] == reference
+
+    def test_queries_see_committed_updates(self, fresh_engine):
+        engine = fresh_engine
+        before = engine.query("Q6").rows["revenue"]
+        engine.run_transactions(40, engine.make_driver(seed=8))
+        after = engine.query("Q6").rows["revenue"]
+        # New order lines were inserted with random predicates; the result
+        # must match the reference either way.
+        assert after == self.q6_reference(engine)
+        assert isinstance(before, int)
+
+    def test_query_timing_breakdown(self, worked_engine):
+        result = worked_engine.query("Q6")
+        t = result.timing
+        assert t.total_time == pytest.approx(
+            t.consistency_time + t.scan.total_time + t.cpu_time
+        )
+        assert t.scan.phases > 0
+
+    def test_unknown_query(self, loaded_engine):
+        with pytest.raises(KeyError):
+            loaded_engine.query("Q99")

@@ -1,0 +1,101 @@
+"""Extended analytical queries (Q4/Q12/Q14/Q17) vs row-by-row references."""
+
+import pytest
+
+from repro.olap.queries import (
+    _Q4_ENTRY_HI,
+    _Q4_ENTRY_LO,
+    _Q12_DELIVERY_HI,
+    _Q12_DELIVERY_LO,
+    _Q14_PROMO_CUTOFF,
+    _Q17_IM_CUTOFF,
+    _Q17_QTY_MAX,
+)
+
+
+def visible_rows(engine, table):
+    runtime = engine.table(table)
+    ts = engine.db.oracle.read_timestamp()
+    return [runtime.read_row(rid, ts) for rid in range(runtime.num_rows)]
+
+
+class TestQ4:
+    def test_matches_reference(self, worked_engine):
+        result = worked_engine.query("Q4")
+        ol_o_ids = {r["ol_o_id"] for r in visible_rows(worked_engine, "orderline")}
+        reference = sum(
+            1
+            for r in visible_rows(worked_engine, "order")
+            if _Q4_ENTRY_LO <= r["o_entry_d"] < _Q4_ENTRY_HI and r["o_id"] in ol_o_ids
+        )
+        assert result.rows["order_count"] == reference
+
+
+class TestQ12:
+    def test_matches_reference(self, worked_engine):
+        result = worked_engine.query("Q12")
+        delivered_orders = {
+            r["ol_o_id"]
+            for r in visible_rows(worked_engine, "orderline")
+            if _Q12_DELIVERY_LO <= r["ol_delivery_d"] < _Q12_DELIVERY_HI
+        }
+        reference = {}
+        for r in visible_rows(worked_engine, "order"):
+            if r["o_id"] in delivered_orders:
+                reference[r["o_ol_cnt"]] = reference.get(r["o_ol_cnt"], 0) + 1
+        assert result.rows == reference
+
+
+class TestQ14:
+    def test_matches_reference(self, worked_engine):
+        result = worked_engine.query("Q14")
+        promo_items = {
+            r["i_id"]
+            for r in visible_rows(worked_engine, "item")
+            if r["i_im_id"] <= _Q14_PROMO_CUTOFF
+        }
+        promo = total = 0
+        for r in visible_rows(worked_engine, "orderline"):
+            total += r["ol_amount"]
+            if r["ol_i_id"] in promo_items:
+                promo += r["ol_amount"]
+        assert result.rows["promo_revenue"] == promo
+        assert result.rows["total_revenue"] == total
+        assert result.rows["promo_share"] == pytest.approx(promo / total)
+
+    def test_share_in_unit_interval(self, worked_engine):
+        share = worked_engine.query("Q14").rows["promo_share"]
+        assert 0.0 <= share <= 1.0
+
+
+class TestQ17:
+    def test_matches_reference(self, worked_engine):
+        result = worked_engine.query("Q17")
+        small_items = {
+            r["i_id"]
+            for r in visible_rows(worked_engine, "item")
+            if r["i_im_id"] <= _Q17_IM_CUTOFF
+        }
+        reference = sum(
+            r["ol_amount"]
+            for r in visible_rows(worked_engine, "orderline")
+            if r["ol_i_id"] in small_items and r["ol_quantity"] <= _Q17_QTY_MAX
+        )
+        assert result.rows["revenue"] == reference
+
+
+class TestFreshness:
+    def test_extended_queries_track_updates(self, fresh_engine):
+        engine = fresh_engine
+        before = engine.query("Q4").rows["order_count"]
+        engine.run_transactions(40, engine.make_driver(seed=13))
+        after = engine.query("Q4").rows["order_count"]
+        # New orders were inserted; the count must match the reference.
+        ol_o_ids = {r["ol_o_id"] for r in visible_rows(engine, "orderline")}
+        reference = sum(
+            1
+            for r in visible_rows(engine, "order")
+            if _Q4_ENTRY_LO <= r["o_entry_d"] < _Q4_ENTRY_HI and r["o_id"] in ol_o_ids
+        )
+        assert after == reference
+        assert isinstance(before, int)

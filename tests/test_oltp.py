@@ -1,0 +1,224 @@
+"""OLTP: hash index, format models, the cost engine, TPC-C transactions."""
+
+import pytest
+
+from repro.core.config import dimm_system
+from repro.errors import SchemaError, TransactionError
+from repro.oltp.engine import CostParams, TxnBreakdown
+from repro.oltp.formats import ColumnStoreModel, RowStoreModel, UnifiedFormatModel
+from repro.oltp.index import HashIndex
+from repro.oltp.tpcc import NewOrderParams, TPCCDriver, new_order, payment
+from repro.format.binpack import compact_aligned_layout
+from repro.workloads.chbench import ch_schema, row_counts
+
+GEOM = dimm_system().geometry
+
+
+class TestHashIndex:
+    def test_insert_probe(self):
+        idx = HashIndex("t")
+        idx.insert(("a", 1), 42)
+        result = idx.probe(("a", 1))
+        assert result.found and result.row_id == 42
+        assert result.lines >= HashIndex.BASE_PROBE_LINES
+
+    def test_miss(self):
+        idx = HashIndex("t")
+        assert not idx.probe("missing").found
+
+    def test_duplicate_rejected(self):
+        idx = HashIndex("t")
+        idx.insert("k", 1)
+        with pytest.raises(TransactionError):
+            idx.insert("k", 2)
+
+    def test_chain_growth_costs_lines(self):
+        idx = HashIndex("t", num_buckets=1)
+        idx.insert("a", 1)
+        idx.insert("b", 2)
+        idx.insert("c", 3)
+        assert idx.probe("a").lines > HashIndex.BASE_PROBE_LINES
+
+    def test_remove(self):
+        idx = HashIndex("t")
+        idx.insert("k", 1)
+        idx.remove("k")
+        assert not idx.probe("k").found
+        with pytest.raises(TransactionError):
+            idx.remove("k")
+
+    def test_len_and_keys(self):
+        idx = HashIndex("t")
+        idx.insert("a", 1)
+        idx.insert("b", 2)
+        assert len(idx) == 2
+        assert set(idx.keys()) == {"a", "b"}
+
+
+class TestFormatModels:
+    def setup_method(self):
+        self.schemas = ch_schema()
+
+    def test_rowstore_row_span(self):
+        model = RowStoreModel(self.schemas, GEOM)
+        lines = model.lines_for_row("customer")
+        assert lines == -(-self.schemas["customer"].row_bytes // 64)
+        # Partial access still fetches the row span.
+        assert model.lines_for_row("customer", ["c_balance"]) == lines
+        assert model.relayout_bytes("customer") == 0
+
+    def test_columnstore_per_column_lines(self):
+        model = ColumnStoreModel(self.schemas, GEOM)
+        assert model.lines_for_row("customer", ["c_balance", "c_id"]) == 2
+        assert model.lines_for_row("customer") == len(self.schemas["customer"].columns)
+
+    def test_columnstore_full_row_expensive(self):
+        """§7.3.1: CS must gather every column to reconstruct a row."""
+        rs = RowStoreModel(self.schemas, GEOM)
+        cs = ColumnStoreModel(self.schemas, GEOM)
+        assert cs.lines_for_row("customer") > rs.lines_for_row("customer")
+
+    def test_unified_lines_close_to_rowstore(self):
+        layouts = {
+            name: compact_aligned_layout(schema, [], 8, 0.6)
+            for name, schema in self.schemas.items()
+        }
+        unified = UnifiedFormatModel(layouts, GEOM)
+        rs = RowStoreModel(self.schemas, GEOM)
+        for table in ("customer", "orderline", "stock"):
+            assert unified.lines_for_row(table) <= 2 * rs.lines_for_row(table)
+
+    def test_unified_partial_access_touches_fewer_parts(self):
+        layouts = {
+            "customer": compact_aligned_layout(
+                self.schemas["customer"], ["c_id", "c_balance"], 8, 1.0
+            )
+        }
+        unified = UnifiedFormatModel(layouts, GEOM)
+        assert unified.lines_for_row("customer", ["c_id"]) <= unified.lines_for_row(
+            "customer"
+        )
+
+    def test_unified_relayout_bytes(self):
+        layouts = {
+            "customer": compact_aligned_layout(self.schemas["customer"], [], 8, 0.6)
+        }
+        unified = UnifiedFormatModel(layouts, GEOM)
+        assert unified.relayout_bytes("customer") == self.schemas["customer"].row_bytes
+        assert unified.relayout_bytes("customer", ["c_id", "c_id"]) == 4
+
+    def test_unknown_table(self):
+        model = RowStoreModel(self.schemas, GEOM)
+        with pytest.raises(SchemaError):
+            model.lines_for_row("nope")
+
+
+class TestTxnBreakdown:
+    def test_total_and_merge(self):
+        a = TxnBreakdown(index=1, alloc=2, compute=3, chain=4, memory=5, relayout=6, flush=7)
+        assert a.total == 28
+        merged = a.merge(a)
+        assert merged.total == 56
+        assert set(a.as_dict()) == {
+            "index", "alloc", "compute", "chain", "memory", "relayout", "flush"
+        }
+
+
+class TestTransactionsFunctional:
+    def test_payment_updates_balances(self, fresh_engine):
+        engine = fresh_engine
+        driver = engine.make_driver(seed=1)
+        params = driver.next_payment()
+        c_row = engine.db.index("customer_pk").probe(
+            (params.w_id, params.d_id, params.c_id)
+        ).row_id
+        ts = engine.db.oracle.read_timestamp()
+        before = engine.table("customer").read_row(c_row, ts)
+        history_before = engine.table("history").num_rows
+        engine.execute_transaction(payment(params))
+        ts = engine.db.oracle.read_timestamp()
+        after = engine.table("customer").read_row(c_row, ts)
+        assert after["c_ytd_payment"] == before["c_ytd_payment"] + params.amount
+        assert after["c_payment_cnt"] == before["c_payment_cnt"] + 1
+        assert engine.table("history").num_rows == history_before + 1
+
+    def test_new_order_inserts_rows(self, fresh_engine):
+        engine = fresh_engine
+        driver = engine.make_driver(seed=2)
+        params = driver.next_new_order()
+        ol_before = engine.table("orderline").num_rows
+        engine.execute_transaction(new_order(params))
+        assert engine.table("orderline").num_rows == ol_before + len(params.item_ids)
+        row_id = engine.db.index("order_pk").probe(params.o_id).row_id
+        ts = engine.db.oracle.read_timestamp()
+        order = engine.table("order").read_row(row_id, ts)
+        assert order["o_c_id"] == params.c_id
+        assert order["o_ol_cnt"] == len(params.item_ids)
+
+    def test_new_order_decrements_stock(self, fresh_engine):
+        engine = fresh_engine
+        driver = engine.make_driver(seed=3)
+        params = driver.next_new_order()
+        s_row = engine.db.index("stock_pk").probe(
+            (params.supply_w_ids[0], params.item_ids[0])
+        ).row_id
+        ts = engine.db.oracle.read_timestamp()
+        before = engine.table("stock").read_row(s_row, ts)
+        engine.execute_transaction(new_order(params))
+        ts = engine.db.oracle.read_timestamp()
+        after = engine.table("stock").read_row(s_row, ts)
+        assert after["s_order_cnt"] == before["s_order_cnt"] + 1
+        assert after["s_ytd"] == before["s_ytd"] + params.quantities[0]
+
+    def test_breakdown_accumulates(self, fresh_engine):
+        engine = fresh_engine
+        result = engine.execute_transaction(payment(engine.make_driver().next_payment()))
+        b = result.breakdown
+        assert b.index > 0 and b.alloc > 0 and b.compute > 0
+        assert b.memory > 0 and b.flush > 0 and b.relayout > 0
+        assert result.total_time == b.total
+        assert result.rows_written >= 4
+
+    def test_chain_time_negligible(self, worked_engine):
+        """§7.4: version-chain traversal is a tiny share of transaction
+        time (< 0.1 % at paper scale; chains are relatively longer at the
+        reduced test scale, so the bound here is looser)."""
+        b = worked_engine.oltp.breakdown
+        assert b.chain / b.total < 0.02
+
+
+class TestDriver:
+    def test_deterministic(self):
+        counts = row_counts(2e-5)
+        a = TPCCDriver(counts, seed=9)
+        b = TPCCDriver(counts, seed=9)
+        assert a.next_payment() == b.next_payment()
+
+    def test_mix_fraction(self):
+        counts = row_counts(2e-5)
+        driver = TPCCDriver(counts, seed=1, payment_fraction=1.0)
+        txn = driver.next_transaction()
+        assert txn is not None
+        with pytest.raises(TransactionError):
+            TPCCDriver(counts, payment_fraction=1.5)
+
+    def test_new_order_param_consistency(self):
+        counts = row_counts(2e-5)
+        driver = TPCCDriver(counts, seed=4)
+        params = driver.next_new_order()
+        assert isinstance(params, NewOrderParams)
+        assert len(params.item_ids) == len(set(params.item_ids))
+        for i_id, s_w in zip(params.item_ids, params.supply_w_ids):
+            assert s_w == (i_id - 1) % counts["warehouse"] + 1
+
+    def test_order_ids_unique(self):
+        counts = row_counts(2e-5)
+        driver = TPCCDriver(counts, seed=5)
+        ids = {driver.next_new_order().o_id for _ in range(20)}
+        assert len(ids) == 20
+
+    def test_mismatched_new_order_rejected(self):
+        with pytest.raises(TransactionError):
+            new_order(
+                NewOrderParams(1, 1, 1, 99, 0, item_ids=[1, 2], supply_w_ids=[1], quantities=[1, 1])
+            )

@@ -1,0 +1,34 @@
+"""Report-table rendering helpers."""
+
+import pytest
+
+from repro.report import format_percent, format_table, format_time_ns
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "v"], [["a", 1], ["longer", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatters:
+    def test_percent(self):
+        assert format_percent(0.974) == "97.4%"
+        assert format_percent(0.5, digits=0) == "50%"
+
+    def test_time_units(self):
+        assert format_time_ns(5.0) == "5.0 ns"
+        assert format_time_ns(5_000.0) == "5.000 us"
+        assert format_time_ns(5_000_000.0) == "5.000 ms"
+        assert format_time_ns(5e9) == "5.000 s"

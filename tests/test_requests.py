@@ -1,0 +1,119 @@
+"""Launch/poll request encoding (Fig. 7b)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ProtocolError
+from repro.pim.requests import (
+    FIELD_SPECS,
+    LaunchRequest,
+    OpType,
+    PollRequest,
+    REQUEST_BYTES,
+    decode_launch,
+    encode_launch,
+)
+
+
+class TestFieldSpecs:
+    """Fig. 7b's field widths, asserted verbatim."""
+
+    def test_ls_fields(self):
+        assert FIELD_SPECS[OpType.LS] == (
+            ("result_addr", 3),
+            ("result_len", 2),
+            ("result_offset", 2),
+            ("result_stride", 2),
+            ("op0_addr", 3),
+            ("op0_len", 2),
+            ("op0_offset", 2),
+            ("op0_stride", 2),
+        )
+
+    def test_filter_fields(self):
+        spec = dict(FIELD_SPECS[OpType.FILTER])
+        assert spec["condition"] == 8
+        assert spec["data_width"] == 1
+
+    def test_hash_fields(self):
+        assert dict(FIELD_SPECS[OpType.HASH])["hash_function"] == 4
+
+    def test_all_ops_fit_in_63_parameter_bytes(self):
+        for op, spec in FIELD_SPECS.items():
+            assert sum(width for _, width in spec) <= 63, op
+
+    def test_bank_handover_only_for_dram_ops(self):
+        """§6.1: only LS and Defragment hand over bank control."""
+        assert OpType.LS.needs_bank_handover
+        assert OpType.DEFRAGMENT.needs_bank_handover
+        for op in (OpType.FILTER, OpType.GROUP, OpType.AGGREGATION, OpType.HASH, OpType.JOIN):
+            assert not op.needs_bank_handover
+
+
+class TestEncodeDecode:
+    def test_payload_is_one_cache_line(self):
+        req = LaunchRequest(OpType.FILTER, {"data_width": 4, "condition": 99})
+        assert len(req.encode()) == REQUEST_BYTES == 64
+
+    def test_roundtrip_explicit(self):
+        req = LaunchRequest(
+            OpType.LS,
+            {"op0_addr": 0x123456, "op0_len": 4096, "op0_stride": 8, "result_addr": 7},
+        )
+        decoded = decode_launch(req.encode())
+        assert decoded.op == OpType.LS
+        assert decoded.get("op0_addr") == 0x123456
+        assert decoded.get("op0_len") == 4096
+        assert decoded.get("result_len") == 0
+
+    @given(st.sampled_from(list(OpType)), st.data())
+    def test_roundtrip_property(self, op, data):
+        params = {
+            name: data.draw(st.integers(min_value=0, max_value=(1 << (8 * width)) - 1))
+            for name, width in FIELD_SPECS[op]
+        }
+        decoded = decode_launch(encode_launch(LaunchRequest(op, params)))
+        assert decoded.op == op
+        assert {k: decoded.get(k) for k, _ in FIELD_SPECS[op]} == params
+
+    def test_type_byte_first(self):
+        payload = LaunchRequest(OpType.JOIN, {}).encode()
+        assert payload[0] == int(OpType.JOIN)
+
+
+class TestValidation:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ProtocolError):
+            LaunchRequest(OpType.FILTER, {"bogus": 1})
+
+    def test_field_overflow_rejected(self):
+        with pytest.raises(ProtocolError):
+            LaunchRequest(OpType.FILTER, {"data_width": 256})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ProtocolError):
+            LaunchRequest(OpType.FILTER, {"data_width": -1})
+
+    def test_get_unknown_field(self):
+        req = LaunchRequest(OpType.FILTER, {})
+        with pytest.raises(ProtocolError):
+            req.get("op0_addr")
+
+    def test_decode_wrong_length(self):
+        with pytest.raises(ProtocolError):
+            decode_launch(b"\x01" * 63)
+
+    def test_decode_unknown_op(self):
+        with pytest.raises(ProtocolError):
+            decode_launch(bytes([99]) + bytes(63))
+
+    def test_decode_trailing_garbage(self):
+        payload = bytearray(LaunchRequest(OpType.JOIN, {}).encode())
+        payload[-1] = 0xFF
+        with pytest.raises(ProtocolError):
+            decode_launch(bytes(payload))
+
+
+class TestPollRequest:
+    def test_poll_carries_no_payload(self):
+        assert PollRequest().encode() == b""

@@ -1,0 +1,116 @@
+"""DRAM timing model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.config import DDR5_3200_TIMINGS, DeviceGeometry, HBM3_TIMINGS
+from repro.pim.timing import (
+    AccessStats,
+    BankTimingModel,
+    effective_stream_bandwidth,
+    random_line_time,
+    stream_time,
+)
+
+GEOM = DeviceGeometry()
+
+
+class TestBankTimingModel:
+    def test_first_access_is_miss(self):
+        bank = BankTimingModel(DDR5_3200_TIMINGS)
+        latency = bank.access(row=3)
+        assert latency == DDR5_3200_TIMINGS.row_miss_read_latency()
+        assert bank.stats.misses == 1
+
+    def test_repeat_access_hits(self):
+        bank = BankTimingModel(DDR5_3200_TIMINGS)
+        bank.access(row=3)
+        latency = bank.access(row=3)
+        assert latency == DDR5_3200_TIMINGS.row_hit_read_latency()
+        assert bank.stats.hits == 1
+
+    def test_row_change_conflicts(self):
+        bank = BankTimingModel(DDR5_3200_TIMINGS)
+        bank.access(row=3)
+        latency = bank.access(row=4)
+        assert latency == DDR5_3200_TIMINGS.row_conflict_read_latency()
+        assert bank.stats.conflicts == 1
+
+    def test_write_costs_at_least_a_burst(self):
+        bank = BankTimingModel(DDR5_3200_TIMINGS)
+        assert bank.access(row=0, write=True) >= DDR5_3200_TIMINGS.tBURST
+
+    def test_reset_closes_row(self):
+        bank = BankTimingModel(DDR5_3200_TIMINGS)
+        bank.access(row=5)
+        bank.reset()
+        bank.access(row=5)
+        assert bank.stats.misses == 2
+
+    def test_hit_rate(self):
+        bank = BankTimingModel(DDR5_3200_TIMINGS)
+        assert bank.stats.hit_rate == 0.0
+        bank.access(row=1)
+        bank.access(row=1)
+        bank.access(row=2)
+        assert bank.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_stats_merge(self):
+        a = AccessStats(hits=1, misses=2, conflicts=3, total_time=10.0, bytes_transferred=64)
+        b = AccessStats(hits=4, misses=0, conflicts=1, total_time=5.0, bytes_transferred=128)
+        a.merge(b)
+        assert a.accesses == 11
+        assert a.bytes_transferred == 192
+
+
+class TestStreamTime:
+    def test_zero_bytes_is_free(self):
+        assert stream_time(0, DDR5_3200_TIMINGS, GEOM) == 0.0
+
+    @given(st.integers(min_value=1, max_value=1 << 20), st.integers(min_value=1, max_value=1 << 20))
+    def test_monotone_in_bytes(self, a, b):
+        small, large = sorted((a, b))
+        assert stream_time(small, DDR5_3200_TIMINGS, GEOM) <= stream_time(
+            large, DDR5_3200_TIMINGS, GEOM
+        )
+
+    def test_sub_granule_costs_full_burst(self):
+        one = stream_time(1, DDR5_3200_TIMINGS, GEOM)
+        eight = stream_time(8, DDR5_3200_TIMINGS, GEOM)
+        assert one == eight
+
+    def test_row_activation_amortizes(self):
+        """Per-byte cost drops as the stream grows past one row buffer."""
+        short = stream_time(64, DDR5_3200_TIMINGS, GEOM) / 64
+        long = stream_time(64 * KB, DDR5_3200_TIMINGS, GEOM) / (64 * KB)
+        assert long < short
+
+    def test_hbm_streams_faster(self):
+        dimm = stream_time(1 << 16, DDR5_3200_TIMINGS, GEOM)
+        hbm = stream_time(1 << 16, HBM3_TIMINGS, GEOM)
+        assert hbm < dimm
+
+
+KB = 1024
+
+
+class TestRandomLineTime:
+    def test_zero_lines(self):
+        assert random_line_time(0, DDR5_3200_TIMINGS) == 0.0
+
+    def test_linear_in_lines(self):
+        one = random_line_time(1, DDR5_3200_TIMINGS)
+        ten = random_line_time(10, DDR5_3200_TIMINGS)
+        assert ten == pytest.approx(10 * one)
+
+    def test_hits_are_cheaper(self):
+        cold = random_line_time(100, DDR5_3200_TIMINGS, hit_rate=0.0)
+        warm = random_line_time(100, DDR5_3200_TIMINGS, hit_rate=0.9)
+        assert warm < cold
+
+
+class TestEffectiveStreamBandwidth:
+    def test_positive_and_bounded(self):
+        bw = effective_stream_bandwidth(DDR5_3200_TIMINGS, GEOM)
+        # One 8 B burst per tBURST is the hard ceiling.
+        assert 0 < bw <= 8 / DDR5_3200_TIMINGS.tBURST

@@ -1,0 +1,177 @@
+"""Transaction aborts, rollback, failure injection, and Delivery."""
+
+import pytest
+
+from repro.errors import TransactionAborted, TransactionError
+from repro.oltp.tpcc import delivery, new_order, payment
+
+
+def db_fingerprint(engine):
+    """A cheap consistency fingerprint: per-table row counts + log lengths
+    + delta occupancy."""
+    out = {}
+    for name, t in engine.db.tables.items():
+        out[name] = (t.num_rows, t.mvcc.log_length, t.mvcc.delta.allocated_rows)
+    out["_indexes"] = {n: len(i) for n, i in engine.db.indexes.items()}
+    return out
+
+
+class TestAbort:
+    def test_abort_rolls_back_everything(self, fresh_engine):
+        engine = fresh_engine
+        before = db_fingerprint(engine)
+        driver = engine.make_driver(seed=2)
+        params = driver.next_new_order()
+        inner = new_order(params)
+
+        def aborting(ctx):
+            inner(ctx)
+            ctx.abort("change of heart")
+
+        result = engine.oltp.execute(aborting)
+        assert result.aborted
+        assert result.rows_written == 0
+        assert db_fingerprint(engine) == before
+        assert engine.oltp.aborted == 1
+
+    def test_abort_restores_row_values(self, fresh_engine):
+        engine = fresh_engine
+        driver = engine.make_driver(seed=3)
+        params = driver.next_payment()
+        c_row = engine.db.index("customer_pk").probe(
+            (params.w_id, params.d_id, params.c_id)
+        ).row_id
+        ts = engine.db.oracle.read_timestamp()
+        before = engine.table("customer").read_row(c_row, ts)
+        inner = payment(params)
+
+        def aborting(ctx):
+            inner(ctx)
+            ctx.abort()
+
+        engine.oltp.execute(aborting)
+        ts = engine.db.oracle.read_timestamp()
+        assert engine.table("customer").read_row(c_row, ts) == before
+
+    def test_failure_injection_rolls_back_and_raises(self, fresh_engine):
+        engine = fresh_engine
+        before = db_fingerprint(engine)
+        driver = engine.make_driver(seed=4)
+        inner = new_order(driver.next_new_order())
+
+        def crashing(ctx):
+            inner(ctx)
+            raise RuntimeError("simulated crash mid-transaction")
+
+        with pytest.raises(RuntimeError):
+            engine.oltp.execute(crashing)
+        assert db_fingerprint(engine) == before
+
+    def test_queries_unaffected_by_aborts(self, fresh_engine):
+        engine = fresh_engine
+        reference = engine.query("Q6").rows
+        driver = engine.make_driver(seed=5)
+        for _ in range(5):
+            inner = driver.next_transaction()
+
+            def aborting(ctx, inner=inner):
+                inner(ctx)
+                ctx.abort()
+
+            engine.oltp.execute(aborting)
+        assert engine.query("Q6").rows == reference
+
+    def test_aborted_id_reusable_after_rollback(self, fresh_engine):
+        """Rolling back an insert removes its index entry, so a retry of
+        the same parameters succeeds."""
+        engine = fresh_engine
+        driver = engine.make_driver(seed=6)
+        params = driver.next_new_order()
+        inner = new_order(params)
+
+        def aborting(ctx):
+            inner(ctx)
+            ctx.abort()
+
+        engine.oltp.execute(aborting)
+        result = engine.execute_transaction(new_order(params))
+        assert not result.aborted
+
+
+class TestUndoValidation:
+    def test_undo_update_requires_versions(self, fresh_engine):
+        mvcc = fresh_engine.table("customer").mvcc
+        with pytest.raises(TransactionError):
+            mvcc.undo_update(0)
+
+    def test_undo_insert_must_be_last(self, fresh_engine):
+        mvcc = fresh_engine.table("history").mvcc
+        first, _ = mvcc.insert(ts=1000)
+        mvcc.insert(ts=1001)
+        with pytest.raises(TransactionError):
+            mvcc.undo_insert(first)
+
+    def test_undo_order_enforced_by_log(self, fresh_engine):
+        mvcc = fresh_engine.table("customer").mvcc
+        mvcc.update(0, ts=1000)
+        mvcc.update(1, ts=1001)
+        with pytest.raises(TransactionError, match="log tail"):
+            mvcc.undo_update(0)
+        mvcc.undo_update(1)
+        mvcc.undo_update(0)
+
+
+class TestDelivery:
+    def run_mixed_with_deliveries(self, engine, count=60):
+        driver = engine.make_driver(seed=7)
+        driver.delivery_fraction = 0.25
+        for _ in range(count):
+            engine.execute_transaction(driver.next_transaction())
+        return driver
+
+    def test_delivery_tombstones_neworders(self, fresh_engine):
+        engine = fresh_engine
+        self.run_mixed_with_deliveries(engine)
+        tombstoned = engine.table("neworder").mvcc.tombstoned_rows()
+        assert tombstoned
+
+    def test_delivery_updates_orderlines_and_customer(self, fresh_engine):
+        engine = fresh_engine
+        driver = engine.make_driver(seed=8)
+        no_params = driver.next_new_order()
+        engine.execute_transaction(new_order(no_params))
+        d_params = driver.next_delivery()
+        assert d_params is not None
+        ts0 = engine.db.oracle.read_timestamp()
+        c_row = engine.db.index("customer_pk").probe(
+            (no_params.w_id, no_params.d_id, no_params.c_id)
+        ).row_id
+        before = engine.table("customer").read_row(c_row, ts0)
+        engine.execute_transaction(delivery(d_params))
+        ts = engine.db.oracle.read_timestamp()
+        after = engine.table("customer").read_row(c_row, ts)
+        assert after["c_delivery_cnt"] == before["c_delivery_cnt"] + len(d_params.orders)
+        ol_row = engine.db.index("orderline_pk").probe((no_params.o_id, 1)).row_id
+        line = engine.table("orderline").read_row(ol_row, ts)
+        assert line["ol_delivery_d"] == d_params.delivery_d
+
+    def test_deleted_rows_survive_defrag(self, fresh_engine):
+        """Tombstones must stay invisible across defragmentation."""
+        engine = fresh_engine
+        self.run_mixed_with_deliveries(engine)
+        no = engine.table("neworder")
+        tombstoned = set(no.mvcc.tombstoned_rows())
+        engine.defragment()
+        visible = no.snapshots.visible_data_rows()
+        assert not any(visible[row] for row in tombstoned)
+
+    def test_next_delivery_empty(self, fresh_engine):
+        driver = fresh_engine.make_driver(seed=9)
+        assert driver.next_delivery() is None
+
+    def test_bad_mix_fractions(self, fresh_engine):
+        from repro.oltp.tpcc import TPCCDriver
+
+        counts = {name: t.num_rows for name, t in fresh_engine.db.tables.items()}
+        with pytest.raises(TransactionError):
+            TPCCDriver(counts, payment_fraction=0.8, delivery_fraction=0.3)
