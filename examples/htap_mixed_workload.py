@@ -9,11 +9,19 @@ the single-instance design goals of §1:
   results match a row-by-row MVCC reference;
 * **performance isolation** — the CPU is blocked only for PIM load
   phases, not compute phases.
+
+Pass ``--metrics-out metrics.json`` to record per-layer telemetry
+(OLTP txn histograms, OLAP operator spans, PIM phase spans, defrag
+counters) and dump it as JSON; view it with
+``python -m repro.experiments report-metrics metrics.json``.
 """
 
-from repro import PushTapEngine
+import argparse
+
+from repro import PushTapEngine, telemetry
 from repro.olap.queries import _Q6_DELIVERY_HI, _Q6_DELIVERY_LO, _Q6_QTY_HI, _Q6_QTY_LO
 from repro.report import format_table, format_time_ns
+from repro.telemetry import export as telemetry_export
 
 
 def q6_reference(engine: PushTapEngine) -> int:
@@ -32,6 +40,20 @@ def q6_reference(engine: PushTapEngine) -> int:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="record telemetry and dump metrics JSON to PATH",
+    )
+    args = parser.parse_args()
+    if args.metrics_out:
+        # Fail fast on an unwritable path rather than after the run.
+        with open(args.metrics_out, "a", encoding="utf-8"):
+            pass
+    registry = telemetry.enable() if args.metrics_out else None
+
     engine = PushTapEngine.build(scale=3e-5, defrag_period=150, block_rows=256)
     driver = engine.make_driver(seed=5)
 
@@ -77,6 +99,12 @@ def main() -> None:
     print(f"\nTotals: {engine.stats.transactions} transactions, "
           f"{engine.stats.queries} queries, "
           f"{engine.stats.defrag_runs} defragmentation runs")
+
+    if registry is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(telemetry_export.to_json(registry))
+        print(f"\nmetrics written to {args.metrics_out}")
+        telemetry.disable()
 
 
 if __name__ == "__main__":

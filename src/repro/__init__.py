@@ -15,8 +15,9 @@ Quickstart::
     engine = PushTapEngine.build(dimm_system(), scale=0.001)
 """
 
+from repro import telemetry
 from repro.core.config import dimm_system, hbm_system, SystemConfig
 from repro.core.engine import PushTapEngine
 
-__all__ = ["PushTapEngine", "SystemConfig", "dimm_system", "hbm_system"]
+__all__ = ["PushTapEngine", "SystemConfig", "dimm_system", "hbm_system", "telemetry"]
 __version__ = "1.0.0"

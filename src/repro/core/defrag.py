@@ -22,6 +22,7 @@ from repro.core.storage import TableStorage
 from repro.errors import DefragError
 from repro.mvcc.manager import MVCCManager
 from repro.mvcc.metadata import METADATA_BYTES, Region, RowRef
+from repro.telemetry import registry as telemetry
 from repro.units import US
 
 __all__ = [
@@ -201,6 +202,17 @@ class DefragExecutor:
         breakdown = self._cost(n, p, part_plan, chain_entries)
         if not include_fixed:
             breakdown.fixed = 0.0
+        tel = telemetry.active()
+        if tel.enabled:
+            tel.counter("defrag.runs").inc()
+            tel.counter("defrag.rows_moved").inc(len(moves))
+            tel.counter("defrag.delta_rows_reclaimed").inc(n)
+            tel.histogram("defrag.latency_ns").observe(breakdown.total)
+            tel.record_span(
+                "defrag.run",
+                breakdown.total,
+                {"strategy": strategy, "moved_rows": len(moves)},
+            )
         return DefragResult(
             strategy=strategy,
             moved_rows=len(moves),

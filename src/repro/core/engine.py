@@ -42,6 +42,7 @@ from repro.oltp.tpcc import INDEX_NAMES, TPCCDriver
 from repro.pim.controller import OriginalController, PushTapController, _ControllerBase
 from repro.pim.memory import Rank
 from repro.pim.pim_unit import PIMUnit
+from repro.telemetry import registry as telemetry
 from repro.units import KIB, ceil_div, round_up
 from repro.workloads.chbench import all_queries, ch_schema, key_columns_for, row_counts
 from repro.workloads.tpcc_gen import generate_table
@@ -533,6 +534,11 @@ class PushTapEngine:
         result = run_query(name, self.olap, self.db, ts)
         self.stats.queries += 1
         self.stats.olap_time += result.total_time
+        tel = telemetry.active()
+        if tel.enabled:
+            tel.counter("olap.queries").inc()
+            tel.histogram(f"olap.query.{name}.latency_ns").observe(result.total_time)
+            tel.record_span("olap.query", result.total_time, {"query": name})
         return result
 
     # ------------------------------------------------------------------

@@ -8,6 +8,12 @@ Regenerate any of the paper's figures (or the ablations) directly::
 
 Each experiment prints the same rows/series its benchmark reports; see
 EXPERIMENTS.md for the paper-vs-measured comparison.
+
+Figure runs can leave a machine-readable telemetry trail::
+
+    python -m repro.experiments fig9a --metrics-out fig9a.json
+    python -m repro.experiments report-metrics fig9a.json
+    python -m repro.experiments report-metrics --csv fig9a.json
 """
 
 from __future__ import annotations
@@ -16,8 +22,10 @@ import argparse
 import sys
 from typing import Callable, Dict
 
+from repro import telemetry
 from repro.experiments import ablations, fig8, fig9, fig10, fig11, fig12
 from repro.report import format_percent, format_table, format_time_ns
+from repro.telemetry import export as telemetry_export
 
 
 def run_fig8a() -> None:
@@ -172,8 +180,38 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
 }
 
 
+def report_metrics(argv) -> int:
+    """``report-metrics``: pretty-print a telemetry JSON dump."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments report-metrics",
+        description="Render a telemetry dump produced by --metrics-out.",
+    )
+    parser.add_argument("path", help="metrics JSON file to render")
+    parser.add_argument(
+        "--csv", action="store_true", help="emit flat CSV instead of tables"
+    )
+    args = parser.parse_args(argv)
+    try:
+        with open(args.path, "r", encoding="utf-8") as fh:
+            registry = telemetry_export.from_json(fh.read())
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc.strerror}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {args.path} is not a telemetry JSON dump: {exc}", file=sys.stderr)
+        return 2
+    if args.csv:
+        print(telemetry_export.to_csv(registry), end="")
+    else:
+        print(telemetry_export.render_report(registry))
+    return 0
+
+
 def main(argv=None) -> int:
     """Entry point: run the named experiments (or ``all``)."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "report-metrics":
+        return report_metrics(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's evaluation figures.",
@@ -182,15 +220,44 @@ def main(argv=None) -> int:
         "experiments",
         nargs="+",
         choices=sorted(EXPERIMENTS) + ["all"],
-        help="which figures to regenerate",
+        help="which figures to regenerate (or 'report-metrics FILE')",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="enable telemetry and dump collected metrics to PATH as JSON",
     )
     args = parser.parse_args(argv)
     names = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
-    for name in names:
-        print(f"\n=== {name} ===")
-        EXPERIMENTS[name]()
+    if args.metrics_out:
+        # Fail fast on an unwritable path rather than after the runs.
+        try:
+            with open(args.metrics_out, "a", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            print(
+                f"error: cannot write {args.metrics_out}: {exc.strerror}",
+                file=sys.stderr,
+            )
+            return 2
+    registry = telemetry.enable() if args.metrics_out else None
+    try:
+        for name in names:
+            print(f"\n=== {name} ===")
+            EXPERIMENTS[name]()
+        if registry is not None:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(telemetry_export.to_json(registry))
+            print(f"\nmetrics written to {args.metrics_out}")
+    finally:
+        if registry is not None:
+            telemetry.disable()
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.exit(141)

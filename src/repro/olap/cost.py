@@ -100,23 +100,29 @@ def column_scan_cost(
 
     handover = config.mode_switch_latency * config.total_ranks
     if controller_kind == "pushtap":
-        # launch(LS)+poll + launch(compute)+poll: 4 requests + one handover.
+        # launch(LS)+poll + launch(compute)+poll: 4 requests + one
+        # handover per LS phase (compute phases are WRAM-only).
         control_per_phase = 4 * config.controller_request_latency + handover
         blocked_per_phase = control_per_phase + load_per_phase
+        offload_control = 0.0
     elif controller_kind == "original":
+        # Per phase the CPU messages every unit for launch+poll of both
+        # sub-phases; the bank handover is paid once for the whole
+        # offload (§2.1 — banks stay locked across phases).
         msg = config.total_pim_units * config.unit_message_latency
-        control_per_phase = 4 * msg + 2 * handover
+        control_per_phase = 4 * msg
         blocked_per_phase = control_per_phase + load_per_phase + compute_per_phase
+        offload_control = handover
     else:
         raise QueryError(f"unknown controller kind {controller_kind!r}")
 
     total_per_phase = control_per_phase + load_per_phase + compute_per_phase
     return ScanCost(
-        total_time=phases * total_per_phase,
-        cpu_blocked_time=phases * blocked_per_phase,
+        total_time=phases * total_per_phase + offload_control,
+        cpu_blocked_time=phases * blocked_per_phase + offload_control,
         load_time=phases * load_per_phase,
         compute_time=phases * compute_per_phase,
-        control_time=phases * control_per_phase,
+        control_time=phases * control_per_phase + offload_control,
         phases=phases,
         bytes_streamed=int(total_bytes),
     )

@@ -29,6 +29,7 @@ from repro.olap.operators import (
 from repro.pim.controller import _ControllerBase
 from repro.pim.executor import ExecutionResult, TwoPhaseExecutor
 from repro.pim.pim_unit import Condition
+from repro.telemetry import registry as telemetry
 
 __all__ = ["QueryTiming", "OLAPEngine", "CPUFilterResult"]
 
@@ -89,13 +90,34 @@ class OLAPEngine:
         """The PIM units of the rank holding ``table``."""
         return table.units if table.units is not None else self.units
 
+    def _observe(self, operator: str, op, scan: ExecutionResult, column: str) -> None:
+        """Report one operator execution into the telemetry registry."""
+        tel = telemetry.active()
+        if not tel.enabled:
+            return
+        tel.counter("olap.operators").inc()
+        tel.counter(f"olap.operator.{operator}.count").inc()
+        tel.counter("olap.bytes_scanned").inc(getattr(op, "bytes_scanned", 0))
+        tel.counter("olap.cpu_transfer_bytes").inc(getattr(op, "cpu_transfer_bytes", 0))
+        tel.histogram(f"olap.operator.{operator}.latency_ns").observe(scan.total_time)
+        tel.record_span(
+            f"olap.operator.{operator}",
+            scan.total_time,
+            {"column": column, "phases": scan.phases},
+        )
+
     # ------------------------------------------------------------------
     # Snapshot
     # ------------------------------------------------------------------
     def snapshot(self, table: TableRuntime, ts: int, timing: QueryTiming) -> None:
         """Bring the table's snapshot up to ``ts`` and charge its cost."""
         cost = table.snapshots.update_to(ts)
-        timing.snapshot_time += cost.total_cpu_bytes / self.config.total_cpu_bandwidth
+        elapsed = cost.total_cpu_bytes / self.config.total_cpu_bandwidth
+        timing.snapshot_time += elapsed
+        tel = telemetry.active()
+        if tel.enabled:
+            tel.counter("olap.snapshots").inc()
+            tel.record_span("olap.snapshot", elapsed, {"table": table.name})
 
     # ------------------------------------------------------------------
     # Operators
@@ -116,8 +138,10 @@ class OLAPEngine:
             condition,
             rows or table.region_rows(),
         )
-        timing.scan = timing.scan.merge(self.executor.execute(op))
+        scan = self.executor.execute(op)
+        timing.scan = timing.scan.merge(scan)
         timing.add_cpu_bytes(op.cpu_transfer_bytes, self.config.total_cpu_bandwidth)
+        self._observe("filter", op, scan, column)
         return op
 
     def group(
@@ -131,8 +155,10 @@ class OLAPEngine:
         op = GroupOperation(
             table.storage, self._units_for(table), column, rows or table.region_rows()
         )
-        timing.scan = timing.scan.merge(self.executor.execute(op))
+        scan = self.executor.execute(op)
+        timing.scan = timing.scan.merge(scan)
         timing.add_cpu_bytes(op.cpu_transfer_bytes, self.config.total_cpu_bandwidth)
+        self._observe("group", op, scan, column)
         merged = qplan.merge_group_blocks(op)
         timing.add_cpu_bytes(merged.cpu_bytes, self.config.total_cpu_bandwidth)
         timing.cpu_time += merged.num_groups * _CPU_MERGE_NS_PER_ELEMENT
@@ -156,8 +182,10 @@ class OLAPEngine:
             indices,
             num_groups,
         )
-        timing.scan = timing.scan.merge(self.executor.execute(op))
+        scan = self.executor.execute(op)
+        timing.scan = timing.scan.merge(scan)
         timing.add_cpu_bytes(op.cpu_transfer_bytes, self.config.total_cpu_bandwidth)
+        self._observe("aggregate", op, scan, column)
         return op.total()
 
     def hash_scan(
@@ -176,8 +204,10 @@ class OLAPEngine:
             rows or table.region_rows(),
             hash_function,
         )
-        timing.scan = timing.scan.merge(self.executor.execute(op))
+        scan = self.executor.execute(op)
+        timing.scan = timing.scan.merge(scan)
         timing.add_cpu_bytes(op.cpu_transfer_bytes, self.config.total_cpu_bandwidth)
+        self._observe("hash", op, scan, column)
         return op
 
     def join(
@@ -196,8 +226,16 @@ class OLAPEngine:
         pim = self.config.pim
         per_unit = result.pim_elements / max(1, len(self.units))
         steps = per_unit / pim.tasklets
-        timing.scan.compute_time += steps * 12 * pim.cycle_ns
-        timing.scan.total_time += steps * 12 * pim.cycle_ns
+        match_time = steps * 12 * pim.cycle_ns
+        timing.scan.compute_time += match_time
+        timing.scan.total_time += match_time
+        tel = telemetry.active()
+        if tel.enabled:
+            tel.counter("olap.operator.join.count").inc()
+            tel.counter("olap.cpu_transfer_bytes").inc(result.cpu_bytes)
+            tel.record_span(
+                "olap.operator.join", match_time, {"elements": result.pim_elements}
+            )
         return result
 
     def cpu_filter(
@@ -241,6 +279,10 @@ class OLAPEngine:
                 hi = min(base + block, count)
                 masks[RowSlice(region, base, hi - base)] = matches[base:hi]
         timing.add_cpu_bytes(cpu_bytes, self.config.total_cpu_bandwidth)
+        tel = telemetry.active()
+        if tel.enabled:
+            tel.counter("olap.operator.cpu_filter.count").inc()
+            tel.counter("olap.cpu_filter_bytes").inc(cpu_bytes)
         return CPUFilterResult(column=column, condition=condition, masks=masks,
                                cpu_bytes=cpu_bytes)
 

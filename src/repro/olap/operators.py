@@ -77,6 +77,8 @@ class _ColumnScanOperation:
         self.column = column
         self.rows = rows
         self.width = storage.layout.schema.column(column).width
+        #: DRAM bytes staged into WRAM by this operation (column + bitmap).
+        self.bytes_scanned = 0
         self._scans: List[Tuple[BlockScan, RowSlice]] = []
         for region, count in (
             (Region.DATA, rows.data_rows),
@@ -180,6 +182,7 @@ class _ColumnScanOperation:
             )
             time += self._load_bitmap(unit, scan, row_slice, offsets["bitmap"])
             time += self._load_aux(unit, scan, row_slice, offsets)
+            self.bytes_scanned += scan.num_rows * self.width + self.storage.block_rows // 8
         return time
 
     def _load_bitmap(

@@ -19,6 +19,7 @@ from repro.errors import TransactionAborted, TransactionError
 from repro.format.schema import Value
 from repro.oltp.formats import AccessFormatModel
 from repro.pim.timing import random_line_time
+from repro.telemetry import registry as telemetry
 
 __all__ = ["CostParams", "TxnBreakdown", "TxnResult", "OLTPEngine", "TxnContext"]
 
@@ -282,11 +283,16 @@ class OLTPEngine:
         """
         ts = self.db.oracle.next_timestamp()
         ctx = TxnContext(self, ts)
+        tel = telemetry.active()
+        txn_name = getattr(txn, "txn_name", None) or getattr(txn, "__name__", "txn")
         try:
             txn(ctx)
         except TransactionAborted:
             ctx.rollback()
             self.aborted += 1
+            if tel.enabled:
+                tel.counter("oltp.txn.aborted").inc()
+                tel.counter(f"oltp.txn.{txn_name}.aborted").inc()
             return TxnResult(
                 ts=ts,
                 breakdown=ctx.breakdown,
@@ -296,11 +302,19 @@ class OLTPEngine:
             )
         except Exception:
             ctx.rollback()
+            if tel.enabled:
+                tel.counter("oltp.txn.failed").inc()
             raise
         result = ctx.commit()
         self.committed += 1
         self.total_time += result.total_time
         self.breakdown = self.breakdown.merge(result.breakdown)
+        if tel.enabled:
+            tel.counter("oltp.txn.committed").inc()
+            tel.counter("oltp.rows_read").inc(result.rows_read)
+            tel.counter("oltp.rows_written").inc(result.rows_written)
+            tel.histogram(f"oltp.txn.{txn_name}.latency_ns").observe(result.total_time)
+            tel.record_span("oltp.txn", result.total_time, {"type": txn_name})
         return result
 
     @property

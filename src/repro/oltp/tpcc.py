@@ -116,6 +116,7 @@ def payment(params: PaymentParams) -> Callable[[TxnContext], None]:
             },
         )
 
+    txn.txn_name = "payment"
     return txn
 
 
@@ -191,6 +192,7 @@ def new_order(params: NewOrderParams) -> Callable[[TxnContext], None]:
                 index_key=("orderline_pk", (params.o_id, number)),
             )
 
+    txn.txn_name = "new_order"
     return txn
 
 
@@ -249,6 +251,7 @@ def delivery(params: DeliveryParams) -> Callable[[TxnContext], None]:
                 },
             )
 
+    txn.txn_name = "delivery"
     return txn
 
 
@@ -284,6 +287,7 @@ def order_status(params: OrderStatusParams) -> Callable[[TxnContext], None]:
                 ["ol_i_id", "ol_supply_w_id", "ol_quantity", "ol_amount", "ol_delivery_d"],
             )
 
+    txn.txn_name = "order_status"
     return txn
 
 
@@ -321,6 +325,7 @@ def stock_level(params: StockLevelParams) -> Callable[[TxnContext], None]:
                     low.add(line["ol_i_id"])
         ctx.result = len(low)
 
+    txn.txn_name = "stock_level"
     return txn
 
 

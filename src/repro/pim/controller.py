@@ -27,6 +27,7 @@ from repro.core.config import SystemConfig
 from repro.errors import ProtocolError
 from repro.pim.pim_unit import PIMUnit
 from repro.pim.requests import LaunchRequest, decode_launch
+from repro.telemetry import registry as telemetry
 
 __all__ = [
     "ControlCost",
@@ -96,6 +97,19 @@ class _ControllerBase:
         for unit in self.units:
             unit.bank.locked = locked
 
+    def begin_offload(self) -> ControlCost:
+        """Start one offload (a whole multi-phase operation).
+
+        The original architecture pays its bank handover here, once;
+        PUSHtap hands over per DRAM-touching launch instead, so the base
+        implementation is free.
+        """
+        return ControlCost(0.0, 0.0)
+
+    def end_offload(self) -> ControlCost:
+        """Finish one offload; releases banks held across its phases."""
+        return ControlCost(0.0, 0.0)
+
     def launch(self, request: LaunchRequest) -> ControlCost:
         """Issue a launch; returns its control cost."""
         raise NotImplementedError
@@ -108,32 +122,78 @@ class _ControllerBase:
         """Mark the operation finished; release banks when appropriate."""
         self._lock_banks(False)
 
+    def _record(self, kind: str, cost: ControlCost) -> None:
+        """Mirror one control interaction into the telemetry registry."""
+        tel = telemetry.active()
+        if tel.enabled:
+            tel.counter(f"pim.controller.{kind}").inc()
+            if cost.total:
+                tel.record_span(
+                    "pim.control", cost.total, {"kind": kind, "cpu_time": cost.cpu_time}
+                )
+
 
 class OriginalController(_ControllerBase):
     """The unmodified general-purpose PIM controller (§2.1).
 
-    Launching hands over every rank's banks and messages every unit; the
-    banks stay locked until the CPU's poll completes, regardless of
-    whether the units are loading from DRAM or computing from WRAM.
+    Offloading hands over every rank's banks *once*, messages every unit
+    per launch, and keeps the banks locked until the whole offload ends,
+    regardless of whether the units are loading from DRAM or computing
+    from WRAM (§2.1). Per-phase launches therefore pay messaging only —
+    the mode switch is not re-charged phase by phase.
     """
 
     locks_banks_during_compute = True
 
-    def launch(self, request: LaunchRequest) -> ControlCost:
-        cpu_time = self.num_units * self.config.unit_message_latency
+    def __init__(self, config: SystemConfig, units: Sequence[PIMUnit]) -> None:
+        super().__init__(config, units)
+        self._offload_active = False
+
+    def begin_offload(self) -> ControlCost:
+        """Hand over bank control for the whole offload (idempotent)."""
+        if self._offload_active:
+            return ControlCost(0.0, 0.0)
+        self._offload_active = True
         # Handover is paid per rank, serially (0.2 us per rank, §7.1).
         handover = self.config.mode_switch_latency * self.num_ranks
         self._lock_banks(True)
-        self.stats.launches += 1
         self.stats.handovers += 1
-        self.stats.control_time += cpu_time + handover
-        return ControlCost(cpu_time, handover)
+        self.stats.control_time += handover
+        cost = ControlCost(0.0, handover)
+        self._record("handovers", cost)
+        return cost
+
+    def end_offload(self) -> ControlCost:
+        """Return bank control to the CPU after the offload's last poll."""
+        if not self._offload_active:
+            return ControlCost(0.0, 0.0)
+        self._offload_active = False
+        self._lock_banks(False)
+        return ControlCost(0.0, 0.0)
+
+    def launch(self, request: LaunchRequest) -> ControlCost:
+        # A bare launch outside an explicit offload opens one, so the
+        # handover is still charged (exactly once) and banks lock.
+        begin = self.begin_offload()
+        cpu_time = self.num_units * self.config.unit_message_latency
+        self.stats.launches += 1
+        self.stats.control_time += cpu_time
+        cost = ControlCost(cpu_time, begin.handover_time)
+        self._record("launches", cost)
+        return cost
 
     def poll(self) -> ControlCost:
         cpu_time = self.num_units * self.config.unit_message_latency
         self.stats.polls += 1
         self.stats.control_time += cpu_time
-        return ControlCost(cpu_time, 0.0)
+        cost = ControlCost(cpu_time, 0.0)
+        self._record("polls", cost)
+        return cost
+
+    def finish(self, request: LaunchRequest) -> None:
+        """Phase end: banks stay locked until :meth:`end_offload`."""
+        if not self._offload_active:
+            self._lock_banks(False)
 
 
 class PushTapController(_ControllerBase):
@@ -191,19 +251,32 @@ class PushTapController(_ControllerBase):
         self._pending = request
         self.stats.launches += 1
         self.stats.control_time += cpu_time + handover
-        return ControlCost(cpu_time, handover)
+        cost = ControlCost(cpu_time, handover)
+        self._record("launches", cost)
+        if handover:
+            telemetry.active().counter("pim.controller.handovers").inc()
+        return cost
 
     def poll(self) -> ControlCost:
         """Polling-module path: one disguised read answers the CPU."""
         cpu_time = self.config.controller_request_latency
         self.stats.polls += 1
         self.stats.control_time += cpu_time
-        return ControlCost(cpu_time, 0.0)
+        cost = ControlCost(cpu_time, 0.0)
+        self._record("polls", cost)
+        return cost
 
     def finish(self, request: LaunchRequest) -> None:
-        """Complete the pending operation and release any locked banks."""
-        if self._pending is None or self._pending.op != request.op:
-            raise ProtocolError("finish does not match the pending operation")
+        """Complete the pending operation and release any locked banks.
+
+        ``request`` must be the *actual* pending request, not merely one
+        with the same op type — finishing a different request of the same
+        type is a protocol violation and raises :class:`ProtocolError`.
+        """
+        # Compare canonical encodings: omitted fields default to 0, so a
+        # decoded request equals the literal it was encoded from.
+        if self._pending is None or self._pending.encode() != request.encode():
+            raise ProtocolError("finish does not match the pending request")
         self._pending = None
         if request.op.needs_bank_handover:
             self._lock_banks(False)

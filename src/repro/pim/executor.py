@@ -22,6 +22,7 @@ from repro.errors import QueryError
 from repro.pim.controller import _ControllerBase
 from repro.pim.pim_unit import PIMUnit
 from repro.pim.requests import LaunchRequest, OpType
+from repro.telemetry import registry as telemetry
 
 __all__ = ["ChunkedOperation", "PhaseTrace", "ExecutionResult", "TwoPhaseExecutor"]
 
@@ -117,6 +118,13 @@ class TwoPhaseExecutor:
             raise QueryError("chunked operation has no participating units")
         result = ExecutionResult()
         blocking_compute = self.controller.locks_banks_during_compute
+        tel = telemetry.active()
+        # One offload spans every phase: the original architecture pays
+        # its bank handover here (once) and holds the banks throughout.
+        begin_cost = self.controller.begin_offload()
+        result.total_time += begin_cost.total
+        result.control_time += begin_cost.total
+        result.cpu_blocked_time += begin_cost.total
         for chunk in range(op.num_chunks()):
             load_req = op.load_request(chunk)
             if load_req.op != OpType.LS and load_req.op != OpType.DEFRAGMENT:
@@ -153,4 +161,22 @@ class TwoPhaseExecutor:
             result.cpu_blocked_time += blocked
             result.phases += 1
             result.traces.append(PhaseTrace(chunk, control, load_time, compute_time))
+            if tel.enabled:
+                op_name = compute_req.op.name
+                tel.counter("pim.executor.phases").inc()
+                tel.record_span(
+                    "pim.phase.control", control, {"chunk": chunk, "op": op_name}
+                )
+                tel.record_span(
+                    "pim.phase.load", load_time, {"chunk": chunk, "op": op_name}
+                )
+                tel.record_span(
+                    "pim.phase.compute", compute_time, {"chunk": chunk, "op": op_name}
+                )
+        end_cost = self.controller.end_offload()
+        result.total_time += end_cost.total
+        result.control_time += end_cost.total
+        result.cpu_blocked_time += end_cost.total
+        if tel.enabled:
+            tel.counter("pim.executor.offloads").inc()
         return result

@@ -13,6 +13,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.engine import PushTapEngine
 from repro.errors import ConfigError
+from repro.telemetry import registry as telemetry
+from repro.telemetry.metrics import Histogram
 from repro.units import S
 
 __all__ = ["WorkloadReport", "MixedWorkload"]
@@ -20,14 +22,19 @@ __all__ = ["WorkloadReport", "MixedWorkload"]
 
 @dataclass
 class WorkloadReport:
-    """Throughput and latency summary of one mixed run."""
+    """Throughput and latency summary of one mixed run.
+
+    Per-query latencies are kept in telemetry histograms (one per query
+    type), so the report exposes quantiles as well as the historical
+    list/mean API.
+    """
 
     transactions: int = 0
     queries: int = 0
     oltp_time: float = 0.0
     olap_time: float = 0.0
     defrag_time: float = 0.0
-    query_latencies: Dict[str, List[float]] = field(default_factory=dict)
+    query_histograms: Dict[str, Histogram] = field(default_factory=dict)
 
     @property
     def simulated_time(self) -> float:
@@ -48,10 +55,29 @@ class WorkloadReport:
             return 0.0
         return self.queries / self.simulated_time * S * 3600.0
 
+    @property
+    def query_latencies(self) -> Dict[str, List[float]]:
+        """Per-query-type latency samples (ns), in observation order."""
+        return {name: h.samples for name, h in self.query_histograms.items()}
+
+    def observe_query(self, name: str, latency: float) -> None:
+        """Record one query latency sample."""
+        hist = self.query_histograms.get(name)
+        if hist is None:
+            hist = self.query_histograms[name] = Histogram(
+                f"workload.query.{name}.latency_ns"
+            )
+        hist.observe(latency)
+
+    def query_histogram(self, name: str) -> Histogram:
+        """The latency histogram of one query type (empty if never run)."""
+        return self.query_histograms.get(
+            name, Histogram(f"workload.query.{name}.latency_ns")
+        )
+
     def mean_query_latency(self, name: str) -> float:
         """Average simulated latency of one query type."""
-        latencies = self.query_latencies.get(name, [])
-        return sum(latencies) / len(latencies) if latencies else 0.0
+        return self.query_histogram(name).mean
 
 
 class MixedWorkload:
@@ -99,6 +125,11 @@ class MixedWorkload:
             query = engine.query(name)
             report.queries += 1
             report.olap_time += query.total_time
-            report.query_latencies.setdefault(name, []).append(query.total_time)
+            report.observe_query(name, query.total_time)
         report.defrag_time = engine.stats.defrag_time - defrag_before
+        tel = telemetry.active()
+        if tel.enabled:
+            tel.counter("workload.intervals").inc(num_queries)
+            tel.gauge("workload.oltp_tpmc").set(report.oltp_tpmc)
+            tel.gauge("workload.olap_qphh").set(report.olap_qphh)
         return report

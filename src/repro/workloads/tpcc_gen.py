@@ -8,6 +8,7 @@ All randomness is seeded, so tests and benchmarks are reproducible.
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, Iterator, List
 
 import numpy as np
@@ -26,6 +27,17 @@ __all__ = [
 #: Synthetic date range (days) used for *_d / *_date columns.
 DATE_EPOCH = 1_000
 DATE_HORIZON = 3_000
+
+
+def _table_seed(table: str, seed: int) -> int:
+    """Per-table RNG seed derived from a *stable* hash of the name.
+
+    Using the name's content (CRC-32, stable across processes — unlike
+    ``hash()``) rather than its length keeps same-length tables such as
+    ``stock``/``order`` on distinct, uncorrelated RNG streams while
+    preserving determinism for a fixed ``seed``.
+    """
+    return (seed * 0x9E3779B1 + zlib.crc32(table.encode("utf-8"))) % (1 << 32)
 
 
 def _filler(rng: np.random.RandomState, width: int) -> bytes:
@@ -49,7 +61,7 @@ def generate_table(
     missing = sorted(required - set(counts))
     if missing:
         raise SchemaError(f"counts missing foreign-key tables {missing}")
-    rng = np.random.RandomState(seed * 1000 + len(table))
+    rng = np.random.RandomState(_table_seed(table, seed))
     generator = _GENERATORS.get(table)
     if generator is None:
         raise SchemaError(f"no generator for table {table!r}")

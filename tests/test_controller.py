@@ -47,11 +47,52 @@ class TestOriginalController:
         cost = ctrl.poll()
         assert cost.cpu_time == pytest.approx(4 * cfg.unit_message_latency)
 
-    def test_finish_releases_banks(self):
+    def test_banks_stay_locked_across_phases(self):
+        """§2.1 regression: finish() between phases must NOT unlock —
+        the original architecture holds the banks for the whole offload."""
         ctrl = OriginalController(dimm_system(), make_units())
+        ctrl.begin_offload()
+        ctrl.launch(LS)
+        ctrl.finish(LS)
+        assert all(u.bank.locked for u in ctrl.units)
         ctrl.launch(FILTER)
         ctrl.finish(FILTER)
+        assert all(u.bank.locked for u in ctrl.units)
+        ctrl.end_offload()
         assert not any(u.bank.locked for u in ctrl.units)
+
+    def test_handover_charged_once_per_offload(self):
+        """Regression: the mode switch is paid once per offload, not per
+        phase launch, and stats.handovers counts offloads."""
+        cfg = dimm_system()
+        ctrl = OriginalController(cfg, make_units(4))
+        begin = ctrl.begin_offload()
+        assert begin.handover_time == pytest.approx(
+            cfg.mode_switch_latency * ctrl.num_ranks
+        )
+        for _ in range(3):
+            assert ctrl.launch(LS).handover_time == 0.0
+            ctrl.finish(LS)
+            assert ctrl.launch(FILTER).handover_time == 0.0
+            ctrl.finish(FILTER)
+        ctrl.end_offload()
+        assert ctrl.stats.handovers == 1
+        assert ctrl.stats.launches == 6
+
+    def test_bare_launch_opens_offload(self):
+        """A launch outside an explicit offload still pays one handover."""
+        ctrl = OriginalController(dimm_system(), make_units())
+        cost = ctrl.launch(FILTER)
+        assert cost.handover_time > 0
+        assert all(u.bank.locked for u in ctrl.units)
+        assert ctrl.launch(FILTER).handover_time == 0.0
+        assert ctrl.stats.handovers == 1
+
+    def test_end_offload_without_begin_is_noop(self):
+        ctrl = OriginalController(dimm_system(), make_units())
+        cost = ctrl.end_offload()
+        assert cost.total == 0.0
+        assert ctrl.stats.handovers == 0
 
 
 class TestPushTapController:
@@ -94,6 +135,29 @@ class TestPushTapController:
         with pytest.raises(ProtocolError):
             ctrl.finish(LS)
         ctrl.finish(FILTER)
+        assert ctrl.pending is None
+
+    def test_finish_rejects_same_op_different_request(self):
+        """Regression: finishing a *different* request of the same op
+        type must raise, not silently succeed."""
+        ctrl = PushTapController(dimm_system(), make_units())
+        ctrl.launch(FILTER)
+        other = LaunchRequest(OpType.FILTER, {"data_width": 8})
+        with pytest.raises(ProtocolError):
+            ctrl.finish(other)
+        # The pending operation is untouched and still completable.
+        assert ctrl.pending is not None
+        ctrl.finish(FILTER)
+        assert ctrl.pending is None
+
+    def test_finish_accepts_decoded_equivalent(self):
+        """A request decoded from the wire (all fields explicit) matches
+        the literal it was encoded from."""
+        from repro.pim.requests import decode_launch
+
+        ctrl = PushTapController(dimm_system(), make_units())
+        ctrl.launch(FILTER)
+        ctrl.finish(decode_launch(FILTER.encode()))
         assert ctrl.pending is None
 
     def test_stats(self):

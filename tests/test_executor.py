@@ -112,6 +112,59 @@ class TestCPUBlocking:
         assert pushtap.control_time < original.control_time
 
 
+class TestOffloadSemantics:
+    """§2.1 regressions: one handover per offload on the original
+    architecture, banks locked for the offload's entire duration."""
+
+    def test_original_handovers_equal_offloads_not_phases(self):
+        units = make_units(4)
+        controller = OriginalController(dimm_system(), units)
+        executor = TwoPhaseExecutor(controller)
+        executor.execute(FakeOp(units, chunks=5))
+        assert controller.stats.handovers == 1
+        executor.execute(FakeOp(units, chunks=3))
+        assert controller.stats.handovers == 2
+
+    def test_original_banks_locked_during_compute_phase(self):
+        units = make_units(2)
+        controller = OriginalController(dimm_system(), units)
+        executor = TwoPhaseExecutor(controller)
+        lock_states = []
+
+        class ProbeOp(FakeOp):
+            def compute(self, unit, chunk):
+                lock_states.append(unit.bank.locked)
+                return super().compute(unit, chunk)
+
+        executor.execute(ProbeOp(units, chunks=3))
+        assert lock_states and all(lock_states)
+        # Banks are released once the offload ends.
+        assert not any(u.bank.locked for u in units)
+
+    def test_pushtap_banks_free_during_compute_phase(self):
+        units = make_units(2)
+        executor = TwoPhaseExecutor(PushTapController(dimm_system(), units))
+        lock_states = []
+
+        class ProbeOp(FakeOp):
+            def compute(self, unit, chunk):
+                lock_states.append(unit.bank.locked)
+                return super().compute(unit, chunk)
+
+        executor.execute(ProbeOp(units, chunks=2))
+        assert lock_states and not any(lock_states)
+
+    def test_original_handover_charged_once_in_control_time(self):
+        cfg = dimm_system()
+        units = make_units(4)
+        controller = OriginalController(cfg, units)
+        result = TwoPhaseExecutor(controller).execute(FakeOp(units, chunks=4))
+        handover = cfg.mode_switch_latency * controller.num_ranks
+        msg = len(units) * cfg.unit_message_latency
+        # 4 messaging rounds per chunk (launch+poll x 2 phases) + 1 handover.
+        assert result.control_time == pytest.approx(4 * 4 * msg + handover)
+
+
 class TestValidation:
     def test_rejects_empty_units(self):
         executor = TwoPhaseExecutor(PushTapController(dimm_system(), make_units()))

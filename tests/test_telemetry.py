@@ -1,0 +1,226 @@
+"""Telemetry subsystem: metrics, registry, no-op mode, exporters."""
+
+import pytest
+
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NoopRegistry,
+    active,
+    disable,
+    enable,
+    enabled,
+    install,
+)
+from repro.telemetry import export
+from repro.telemetry.metrics import NULL_COUNTER, NULL_HISTOGRAM, SpanEvent
+
+
+@pytest.fixture(autouse=True)
+def _restore_noop():
+    """Every test leaves the process-global registry disabled."""
+    yield
+    disable()
+
+
+class TestMetrics:
+    def test_counter(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.add(-3)
+        assert g.value == 7
+
+    def test_histogram_stats(self):
+        h = Histogram("lat")
+        for v in (10.0, 20.0, 30.0, 40.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 100.0
+        assert h.mean == 25.0
+        assert h.min == 10.0
+        assert h.max == 40.0
+
+    def test_histogram_quantiles_interpolate(self):
+        h = Histogram("lat", samples=[0.0, 10.0, 20.0, 30.0, 40.0])
+        assert h.p50 == 20.0
+        assert h.quantile(0.25) == 10.0
+        assert h.quantile(0.125) == pytest.approx(5.0)
+        assert h.quantile(1.0) == 40.0
+        assert h.quantile(0.0) == 0.0
+
+    def test_histogram_quantile_after_late_observe(self):
+        h = Histogram("lat")
+        h.observe(30.0)
+        h.observe(10.0)
+        assert h.p50 == 20.0  # forces sort
+        h.observe(0.0)  # invalidates cached sort order
+        assert h.quantile(0.0) == 0.0
+
+    def test_histogram_empty_and_bad_q(self):
+        h = Histogram("lat")
+        assert h.p99 == 0.0
+        assert h.mean == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_histogram_as_dict(self):
+        h = Histogram("lat", samples=[1.0, 2.0])
+        d = h.as_dict()
+        assert d["count"] == 2
+        assert d["samples"] == [1.0, 2.0]
+        assert "samples" not in h.as_dict(include_samples=False)
+        assert set(d) >= {"p50", "p95", "p99", "mean", "min", "max"}
+
+    def test_span_event(self):
+        s = SpanEvent("pim.phase.load", start=100.0, duration=50.0)
+        assert s.end == 150.0
+        assert s.as_dict()["attrs"] == {}
+
+
+class TestRegistry:
+    def test_create_on_first_use_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a.b") is reg.counter("a.b")
+        reg.counter("a.b").inc(3)
+        assert reg.counters["a.b"].value == 3
+
+    def test_scope_prefixes_names(self):
+        reg = MetricsRegistry()
+        with reg.scope("oltp"):
+            reg.counter("txn").inc()
+            with reg.scope("payment"):
+                reg.histogram("latency_ns").observe(5.0)
+                reg.record_span("exec", 5.0)
+        assert "oltp.txn" in reg.counters
+        assert "oltp.payment.latency_ns" in reg.histograms
+        assert reg.spans[0].name == "oltp.payment.exec"
+        # Prefix is popped on exit.
+        reg.counter("txn").inc()
+        assert reg.counters["txn"].value == 1
+
+    def test_spans_advance_sim_cursor(self):
+        reg = MetricsRegistry()
+        a = reg.record_span("x", 10.0)
+        b = reg.record_span("y", 5.0)
+        assert (a.start, a.end) == (0.0, 10.0)
+        assert (b.start, b.end) == (10.0, 15.0)
+        assert reg.sim_time == 15.0
+        # An explicit start does not move the cursor.
+        reg.record_span("z", 100.0, start=2.0)
+        assert reg.sim_time == 15.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().record_span("x", -1.0)
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.record_span("s", 1.0)
+        reg.reset()
+        assert not reg.counters and not reg.spans
+        assert reg.sim_time == 0.0
+
+
+class TestGlobalSwitch:
+    def test_disabled_by_default(self):
+        assert not enabled()
+        assert isinstance(active(), NoopRegistry)
+
+    def test_enable_disable_cycle(self):
+        reg = enable()
+        assert enabled()
+        assert active() is reg
+        # Enabling again without an argument keeps the same registry.
+        assert enable() is reg
+        disable()
+        assert not enabled()
+
+    def test_install_custom_registry(self):
+        mine = MetricsRegistry()
+        install(mine)
+        assert active() is mine
+
+    def test_noop_mode_records_nothing(self):
+        noop = active()
+        assert noop.counter("a") is NULL_COUNTER
+        noop.counter("a").inc(100)
+        assert noop.counter("a").value == 0.0
+        h = noop.histogram("h")
+        assert h is NULL_HISTOGRAM
+        h.observe(5.0)
+        assert h.count == 0
+        assert noop.record_span("s", 1.0) is None
+        with noop.scope("x") as scoped:
+            assert scoped is noop
+
+    def test_instrumented_layers_emit_when_enabled(self):
+        """End-to-end: running the engine populates every layer's metrics."""
+        from repro import PushTapEngine
+
+        reg = enable(MetricsRegistry())
+        engine = PushTapEngine.build(scale=2e-5)
+        driver = engine.make_driver(seed=1)
+        engine.run_transactions(20, driver)
+        engine.query("Q6")
+        assert reg.counters["oltp.txn.committed"].value == 20
+        assert reg.counters["olap.queries"].value == 1
+        assert reg.counters["pim.executor.offloads"].value >= 1
+        assert any(n.startswith("oltp.txn.") and n.endswith(".latency_ns")
+                   for n in reg.histograms)
+        assert any(s.name == "pim.phase.compute" for s in reg.spans)
+
+
+class TestExport:
+    def make_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("oltp.txn.committed").inc(7)
+        reg.gauge("workload.oltp_tpmc").set(123.5)
+        for v in (1.0, 2.0, 3.0, 10.0):
+            reg.histogram("oltp.txn.payment.latency_ns").observe(v)
+        reg.record_span("pim.phase.load", 50.0, {"chunk": 0})
+        reg.record_span("pim.phase.compute", 25.0, {"chunk": 0})
+        return reg
+
+    def test_json_round_trip_is_lossless(self):
+        reg = self.make_registry()
+        back = export.from_json(export.to_json(reg))
+        assert back.counters["oltp.txn.committed"].value == 7
+        assert back.gauges["workload.oltp_tpmc"].value == 123.5
+        orig = reg.histograms["oltp.txn.payment.latency_ns"]
+        copy = back.histograms["oltp.txn.payment.latency_ns"]
+        assert copy.samples == orig.samples
+        assert copy.p95 == orig.p95
+        assert back.spans == reg.spans
+
+    def test_dict_version_stamp(self):
+        assert export.to_dict(self.make_registry())["version"] == export.FORMAT_VERSION
+
+    def test_samples_can_be_elided(self):
+        data = export.to_dict(self.make_registry(), include_samples=False)
+        hist = data["histograms"]["oltp.txn.payment.latency_ns"]
+        assert "samples" not in hist
+        assert hist["count"] == 4
+
+    def test_csv_shape(self):
+        lines = export.to_csv(self.make_registry()).strip().splitlines()
+        assert lines[0] == "kind,name,field,value"
+        kinds = {line.split(",")[0] for line in lines[1:]}
+        assert kinds == {"counter", "gauge", "histogram", "span"}
+
+    def test_render_report(self):
+        text = export.render_report(self.make_registry())
+        for fragment in ("counters:", "gauges:", "histograms:",
+                         "spans (aggregated):", "oltp.txn.committed"):
+            assert fragment in text
+        assert export.render_report(MetricsRegistry()) == "(no telemetry recorded)"

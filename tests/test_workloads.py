@@ -142,6 +142,30 @@ class TestGenerators:
         with pytest.raises(SchemaError):
             list(generate_table("nope", self.COUNTS))
 
+    def test_same_length_tables_use_distinct_streams(self):
+        """Regression: seeding by ``len(table)`` put same-length names
+        (stock/order, 5 chars each) on identical RNG streams."""
+        from repro.workloads.tpcc_gen import _table_seed
+
+        by_length = {}
+        for table in self.COUNTS:
+            by_length.setdefault(len(table), []).append(_table_seed(table, 7))
+        for seeds in by_length.values():
+            assert len(seeds) == len(set(seeds))
+        # The streams themselves diverge: equal-length names no longer
+        # draw identical random sequences.
+        import numpy as np
+
+        a = np.random.RandomState(_table_seed("stock", 7)).randint(0, 2**31, 16)
+        b = np.random.RandomState(_table_seed("order", 7)).randint(0, 2**31, 16)
+        assert list(a) != list(b)
+
+    def test_table_seed_stable_across_seeds(self):
+        from repro.workloads.tpcc_gen import _table_seed
+
+        assert _table_seed("stock", 7) == _table_seed("stock", 7)
+        assert _table_seed("stock", 7) != _table_seed("stock", 8)
+
 
 class TestHTAPBench:
     def test_tables(self):
