@@ -15,7 +15,7 @@ Eq. 1 and Eq. 2, and Eq. 3 gives the row-width break-even point. The
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.snapshot import SnapshotManager
 from repro.core.storage import TableStorage
@@ -180,16 +180,23 @@ class DefragExecutor:
         self,
         ts: int,
         strategy: str = Strategy.HYBRID,
-        tombstoned: Iterable[int] = (),
+        tombstoned: Optional[Iterable[int]] = None,
         include_fixed: bool = True,
     ) -> DefragResult:
         """Defragment the table: move rows, truncate chains, reset bitmaps.
 
         ``ts`` is the quiesced timestamp (all transactions up to it are
         committed; OLTP is paused). Returns the modelled cost.
+        ``tombstoned`` defaults to the MVCC manager's own deleted-row set;
+        it must be captured *before* ``compact()`` folds pending
+        tombstones into the permanent dead-row set and clears the log.
         ``include_fixed`` charges the per-pass fixed overhead (thread
         creation + PIM activation); a multi-table pass pays it once.
         """
+        if tombstoned is None:
+            tombstoned = self.mvcc.tombstoned_rows()
+        else:
+            tombstoned = list(tombstoned)
         n = self.mvcc.delta.high_water_rows
         chain_entries = self.mvcc.stale_version_count() + len(self.mvcc.updated_chains())
         moves: List[Tuple[int, RowRef]] = self.mvcc.compact()

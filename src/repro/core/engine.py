@@ -28,6 +28,8 @@ from repro.core.snapshot import SnapshotManager
 from repro.core.storage import RankAllocator, TableStorage
 from repro.core.table import TableRuntime
 from repro.errors import ConfigError
+from repro.faults import injector as faults
+from repro.faults import plan as fault_plan
 from repro.format.binpack import compact_aligned_layout
 from repro.format.layout import UnifiedLayout
 from repro.format.schema import TableSchema
@@ -489,10 +491,24 @@ class PushTapEngine:
             self.execute_transaction(driver.next_transaction()) for _ in range(count)
         ]
 
-    def make_driver(self, seed: int = 11, payment_fraction: float = 0.5) -> TPCCDriver:
-        """Create a TPC-C parameter driver consistent with the loaded data."""
+    def make_driver(
+        self,
+        seed: int = 11,
+        payment_fraction: float = 0.5,
+        delivery_fraction: float = 0.0,
+    ) -> TPCCDriver:
+        """Create a TPC-C parameter driver consistent with the loaded data.
+
+        All mix fractions pass through the driver's constructor so its
+        validation applies (``payment + delivery`` must not exceed 1).
+        """
         counts = {name: t.num_rows for name, t in self.db.tables.items()}
-        return TPCCDriver(counts, seed=seed, payment_fraction=payment_fraction)
+        return TPCCDriver(
+            counts,
+            seed=seed,
+            payment_fraction=payment_fraction,
+            delivery_fraction=delivery_fraction,
+        )
 
     def _defrag_due(self) -> bool:
         if self.defrag_period and self._txns_since_defrag >= self.defrag_period:
@@ -530,6 +546,14 @@ class PushTapEngine:
     # ------------------------------------------------------------------
     def query(self, name: str) -> QueryResult:
         """Run an analytical query at the current read timestamp."""
+        inj = faults.active()
+        if inj.enabled and inj.fire(fault_plan.DEFRAG_MID_QUERY):
+            # Defragmentation triggers in the middle of the query interval
+            # (e.g. a delta region crossing its high-water mark right as
+            # the query scheduler fires); the query then runs against the
+            # freshly rebuilt snapshot, which must stay consistent.
+            inj.detect(fault_plan.DEFRAG_MID_QUERY)
+            self.defragment()
         ts = self.db.oracle.read_timestamp()
         result = run_query(name, self.olap, self.db, ts)
         self.stats.queries += 1

@@ -112,7 +112,12 @@ class SnapshotManager:
         if bits[ref.index] == value:
             return 0
         bits[ref.index] = value
-        touched.add((ref.region, ref.index // (8 * self.storage.rank.granularity)))
+        # Group by the unit the cost model charges: one cache line of
+        # packed bitmap covers 8 * cache_line_bytes rows. (Grouping by
+        # the per-device interleave granularity instead would overcount
+        # touched lines whenever granularity != cache_line_bytes.)
+        line = self.storage.rank.geometry.cache_line_bytes
+        touched.add((ref.region, ref.index // (8 * line)))
         return 1
 
     def _flush(self) -> None:

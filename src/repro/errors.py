@@ -53,3 +53,11 @@ class SnapshotError(ReproError):
 
 class DefragError(ReproError):
     """Defragmentation failed or was invoked in an invalid state."""
+
+
+class InvariantViolation(ReproError):
+    """A cross-subsystem consistency invariant failed to hold.
+
+    Raised by the fault-injection harness's invariant checker when an
+    injected fault corrupted state instead of being absorbed gracefully.
+    """

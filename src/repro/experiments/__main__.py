@@ -14,6 +14,12 @@ Figure runs can leave a machine-readable telemetry trail::
     python -m repro.experiments fig9a --metrics-out fig9a.json
     python -m repro.experiments report-metrics fig9a.json
     python -m repro.experiments report-metrics --csv fig9a.json
+
+The fault-injection harness runs the mixed workload under seeded control
+faults and checks consistency invariants::
+
+    python -m repro.experiments fault-sweep --seed 1 2 3 \\
+        --rates drop_launch=0.05,forced_abort=0.1
 """
 
 from __future__ import annotations
@@ -207,11 +213,105 @@ def report_metrics(argv) -> int:
     return 0
 
 
+def fault_sweep(argv) -> int:
+    """``fault-sweep``: run the workload under injected control faults."""
+    from repro.faults.plan import FaultRates
+    from repro.faults.sweep import run_fault_sweep
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments fault-sweep",
+        description=(
+            "Drive the mixed HTAP workload under seeded fault injection and "
+            "report survival, invariant violations, and throughput degradation."
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, nargs="+", default=[1], help="fault/workload seed(s)"
+    )
+    parser.add_argument(
+        "--rates",
+        default="drop_launch=0.05,duplicate_launch=0.05,forced_abort=0.1",
+        help="comma-separated hook=rate pairs (see repro.faults.plan.HOOKS)",
+    )
+    parser.add_argument(
+        "--intervals", type=int, default=6, help="query intervals per run"
+    )
+    parser.add_argument(
+        "--txns-per-query", type=int, default=30, help="transactions per interval"
+    )
+    parser.add_argument("--scale", type=float, default=2e-5, help="CH-benCH scale")
+    parser.add_argument(
+        "--defrag-period", type=int, default=200, help="transactions between defrags"
+    )
+    parser.add_argument(
+        "--controller",
+        choices=["pushtap", "original"],
+        default="pushtap",
+        help="memory controller variant under test",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="enable telemetry and dump collected metrics to PATH as JSON",
+    )
+    args = parser.parse_args(argv)
+    rates = FaultRates.parse(args.rates)
+    registry = telemetry.enable() if args.metrics_out else None
+    failed = False
+    try:
+        rows = []
+        for seed in args.seed:
+            result = run_fault_sweep(
+                seed,
+                rates,
+                intervals=args.intervals,
+                txns_per_query=args.txns_per_query,
+                scale=args.scale,
+                defrag_period=args.defrag_period,
+                controller_kind=args.controller,
+            )
+            rows.append([
+                seed,
+                "yes" if result.survived else "NO",
+                sum(result.injected.values()),
+                sum(result.detected.values()),
+                result.retries,
+                result.checks,
+                len(result.violations),
+                format_percent(result.tpmc_degradation),
+                format_percent(result.qphh_degradation),
+            ])
+            if not result.survived:
+                failed = True
+                if result.error:
+                    print(f"seed {seed}: {result.error}", file=sys.stderr)
+                for violation in result.violations:
+                    print(f"seed {seed}: INVARIANT: {violation}", file=sys.stderr)
+        print(format_table(
+            [
+                "seed", "survived", "injected", "detected", "retries",
+                "checks", "violations", "tpmC loss", "QphH loss",
+            ],
+            rows,
+        ))
+        if registry is not None:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(telemetry_export.to_json(registry))
+            print(f"\nmetrics written to {args.metrics_out}")
+    finally:
+        if registry is not None:
+            telemetry.disable()
+    return 1 if failed else 0
+
+
 def main(argv=None) -> int:
     """Entry point: run the named experiments (or ``all``)."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "report-metrics":
         return report_metrics(argv[1:])
+    if argv and argv[0] == "fault-sweep":
+        return fault_sweep(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's evaluation figures.",
@@ -220,7 +320,7 @@ def main(argv=None) -> int:
         "experiments",
         nargs="+",
         choices=sorted(EXPERIMENTS) + ["all"],
-        help="which figures to regenerate (or 'report-metrics FILE')",
+        help="which figures to regenerate (or 'report-metrics FILE' / 'fault-sweep')",
     )
     parser.add_argument(
         "--metrics-out",

@@ -1,0 +1,253 @@
+"""Cross-subsystem invariant checking for the fault-injection harness.
+
+The :class:`InvariantChecker` inspects a whole engine at *safe points*
+(between transactions, after queries, at interval boundaries — never
+mid-offload) and asserts that injected faults were absorbed gracefully
+rather than corrupting state:
+
+* **Controller discipline** — no bank may stay locked outside an
+  offload; the PUSHtap scheduler's pending slot must be empty; the
+  original controller must not believe an offload is still active.
+* **MVCC agreement** — version-chain timestamps strictly decrease from
+  the head; the update log's timestamps never decrease; the number of
+  ``update`` records equals :meth:`MVCCManager.stale_version_count`;
+  ``delete`` records match the pending tombstones; ``insert`` records
+  form the contiguous tail of the row-id space; every delta reference in
+  a chain is allocated and every allocated delta row is referenced
+  (a bijection — dangling or leaked delta rows fail here).
+* **Snapshot agreement** — the incremental bitmaps equal a from-scratch
+  rebuild off the MVCC log, and the packed per-device copy in simulated
+  DRAM equals the packed in-memory bitmap.
+
+The checker deliberately avoids importing :mod:`repro.core.engine` — it
+duck-types the engine (``db``, ``controller``) so low-level modules that
+participate in fault injection never gain an import cycle through it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+import numpy as np
+
+from repro.errors import InvariantViolation
+from repro.mvcc.metadata import Region
+from repro.telemetry import registry as telemetry
+from repro.units import ceil_div
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import PushTapEngine
+
+__all__ = ["InvariantChecker"]
+
+
+class InvariantChecker:
+    """Checks engine-wide consistency invariants at safe points."""
+
+    def __init__(self, engine: "PushTapEngine", raise_on_violation: bool = True) -> None:
+        self.engine = engine
+        self.raise_on_violation = raise_on_violation
+        self.checks = 0
+        self.violations: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def check(self) -> List[str]:
+        """Run every invariant; returns (and records) the violations."""
+        found: List[str] = []
+        found.extend(self._check_controller())
+        for name, runtime in self.engine.db.tables.items():
+            found.extend(self._check_mvcc(name, runtime))
+            found.extend(self._check_snapshot(name, runtime))
+        self.checks += 1
+        self.violations.extend(found)
+        tel = telemetry.active()
+        if tel.enabled:
+            tel.counter("faults.invariant.checks").inc()
+            if found:
+                tel.counter("faults.invariant.violations").inc(len(found))
+        if found and self.raise_on_violation:
+            raise InvariantViolation("; ".join(found))
+        return found
+
+    # ------------------------------------------------------------------
+    # Controller invariants
+    # ------------------------------------------------------------------
+    def _check_controller(self) -> List[str]:
+        found: List[str] = []
+        controller = self.engine.controller
+        pending = getattr(controller, "pending", None)
+        if pending is not None:
+            found.append(
+                f"controller has pending operation {pending.op.name} at a safe point"
+            )
+        if getattr(controller, "_offload_active", False):
+            found.append("controller reports an offload active at a safe point")
+        locked = [
+            unit.unit_id for unit in controller.units if unit.bank.locked
+        ]
+        if locked:
+            found.append(
+                f"{len(locked)} bank(s) left locked outside an offload "
+                f"(units {locked[:8]})"
+            )
+        return found
+
+    # ------------------------------------------------------------------
+    # MVCC invariants
+    # ------------------------------------------------------------------
+    def _check_mvcc(self, name: str, runtime) -> List[str]:
+        found: List[str] = []
+        mvcc = runtime.mvcc
+        log = mvcc._log
+
+        # Log timestamps never decrease (commit order).
+        last_ts = 0
+        for record in log:
+            if record.write_ts < last_ts:
+                found.append(
+                    f"{name}: log write_ts {record.write_ts} after {last_ts}"
+                )
+                break
+            last_ts = record.write_ts
+
+        # Record counts agree with chain / tombstone state.
+        updates = sum(1 for r in log if r.kind == "update")
+        deletes = sum(1 for r in log if r.kind == "delete")
+        inserts = [r.row_id for r in log if r.kind == "insert"]
+        stale = mvcc.stale_version_count()
+        if updates != stale:
+            found.append(
+                f"{name}: {updates} update records but {stale} stale versions"
+            )
+        if deletes != len(mvcc._tombstones):
+            found.append(
+                f"{name}: {deletes} delete records but "
+                f"{len(mvcc._tombstones)} tombstones"
+            )
+        if inserts:
+            expected = list(
+                range(mvcc.num_rows - len(inserts), mvcc.num_rows)
+            )
+            if inserts != expected:
+                found.append(
+                    f"{name}: insert records {inserts[:8]}... do not form the "
+                    f"contiguous row-id tail ending at {mvcc.num_rows - 1}"
+                )
+
+        # Tombstones, dead rows, and row bounds.
+        overlap = set(mvcc._tombstones) & mvcc._dead_rows
+        if overlap:
+            found.append(f"{name}: rows {sorted(overlap)[:8]} both tombstoned and dead")
+        out_of_range = [
+            r
+            for r in list(mvcc._tombstones) + sorted(mvcc._dead_rows)
+            if r < 0 or r >= mvcc.num_rows
+        ]
+        if out_of_range:
+            found.append(f"{name}: deleted rows {out_of_range[:8]} out of range")
+
+        # Chains: strictly decreasing timestamps; delta refs ↔ allocator.
+        referenced = set()
+        for chain in mvcc._chains.values():
+            prev_ts = None
+            for entry in chain.versions():
+                if prev_ts is not None and entry.write_ts >= prev_ts:
+                    found.append(
+                        f"{name}: row {chain.row_id} chain timestamps not "
+                        f"strictly decreasing ({entry.write_ts} under {prev_ts})"
+                    )
+                    break
+                prev_ts = entry.write_ts
+            for entry in chain.versions():
+                if entry.location.region == Region.DELTA:
+                    index = entry.location.index
+                    if not mvcc.delta.is_allocated(index):
+                        found.append(
+                            f"{name}: row {chain.row_id} references "
+                            f"unallocated delta row {index}"
+                        )
+                    elif index in referenced:
+                        found.append(
+                            f"{name}: delta row {index} referenced by "
+                            "multiple versions"
+                        )
+                    referenced.add(index)
+        leaked = mvcc.delta._allocated - referenced
+        if leaked:
+            found.append(
+                f"{name}: {len(leaked)} allocated delta row(s) unreferenced "
+                f"by any chain ({sorted(leaked)[:8]})"
+            )
+        return found
+
+    # ------------------------------------------------------------------
+    # Snapshot invariants
+    # ------------------------------------------------------------------
+    def _check_snapshot(self, name: str, runtime) -> List[str]:
+        found: List[str] = []
+        mvcc = runtime.mvcc
+        snap = runtime.snapshots
+
+        # Rebuild both bitmaps from scratch: the base state (what the
+        # constructor or the last defragmentation established) plus a
+        # replay of log records committed at or before the snapshot
+        # horizon. Inserts newer than the last log clear are all still in
+        # the log, so the base row count is recoverable.
+        inserts_in_log = sum(1 for r in mvcc._log if r.kind == "insert")
+        base_rows = mvcc.num_rows - inserts_in_log
+        data = np.zeros(len(snap._data_bits), dtype=bool)
+        data[:base_rows] = True
+        for row in mvcc._dead_rows:
+            data[row] = False
+        delta = np.zeros(len(snap._delta_bits), dtype=bool)
+        for record in mvcc._log:
+            if record.write_ts > snap.last_snapshot_ts:
+                continue
+            if record.kind == "update":
+                self._apply(data, delta, record.prev_ref, False)
+                self._apply(data, delta, record.new_ref, True)
+            elif record.kind == "insert":
+                self._apply(data, delta, record.new_ref, True)
+            elif record.kind == "delete":
+                self._apply(data, delta, record.prev_ref, False)
+
+        if not np.array_equal(data, snap._data_bits):
+            diff = int(np.sum(data != snap._data_bits))
+            found.append(
+                f"{name}: data bitmap disagrees with log rebuild in {diff} bit(s)"
+            )
+        if not np.array_equal(delta, snap._delta_bits):
+            diff = int(np.sum(delta != snap._delta_bits))
+            found.append(
+                f"{name}: delta bitmap disagrees with log rebuild in {diff} bit(s)"
+            )
+
+        # The per-device packed copy in simulated DRAM must mirror the
+        # in-memory bitmap (every device holds the same copy; device 0
+        # stands in for all of them).
+        for region, bits in (
+            (Region.DATA, snap._data_bits),
+            (Region.DELTA, snap._delta_bits),
+        ):
+            stored = runtime.storage.read_bitmap(region, device=0)
+            if not np.array_equal(stored, self._packed(bits)):
+                found.append(
+                    f"{name}: stored {region} bitmap copy diverges from the "
+                    "in-memory bitmap"
+                )
+        return found
+
+    @staticmethod
+    def _apply(data: np.ndarray, delta: np.ndarray, ref, value: bool) -> None:
+        bits = data if ref.region == Region.DATA else delta
+        bits[ref.index] = value
+
+    @staticmethod
+    def _packed(bits: np.ndarray) -> np.ndarray:
+        nbytes = max(1, ceil_div(len(bits), 8))
+        packed = np.packbits(bits.astype(np.uint8), bitorder="little")
+        out = np.zeros(nbytes, dtype=np.uint8)
+        out[: len(packed)] = packed
+        return out

@@ -1,0 +1,166 @@
+"""The ``fault-sweep`` harness: workload under injected faults.
+
+Runs the mixed HTAP workload twice — once clean (the baseline) and once
+with a seeded :class:`~repro.faults.injector.FaultInjector` installed —
+and reports whether the engine *survived* (no unhandled error, zero
+invariant violations) together with the throughput degradation the
+injected faults caused. Both runs build identical engines from the same
+seed, so with the same arguments the sweep is bit-for-bit reproducible.
+
+This module sits at the top of the fault stack (it imports the engine
+and workload driver) and is intentionally **not** re-exported from
+:mod:`repro.faults` — importing it from low-level modules would create
+an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.engine import PushTapEngine
+from repro.errors import ReproError
+from repro.faults.injector import FaultInjector, deactivate, install
+from repro.faults.invariants import InvariantChecker
+from repro.faults.plan import FaultPlan, FaultRates
+from repro.workloads.driver import MixedWorkload
+
+__all__ = ["SweepResult", "run_fault_sweep"]
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one fault sweep (baseline + faulted run)."""
+
+    seed: int
+    rates: Dict[str, float]
+    survived: bool = True
+    error: Optional[str] = None
+    baseline_tpmc: float = 0.0
+    baseline_qphh: float = 0.0
+    faulted_tpmc: float = 0.0
+    faulted_qphh: float = 0.0
+    transactions: int = 0
+    aborted: int = 0
+    injected: Dict[str, int] = field(default_factory=dict)
+    detected: Dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    checks: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def tpmc_degradation(self) -> float:
+        """Fractional tpmC lost to the injected faults."""
+        if self.baseline_tpmc == 0:
+            return 0.0
+        return 1.0 - self.faulted_tpmc / self.baseline_tpmc
+
+    @property
+    def qphh_degradation(self) -> float:
+        """Fractional QphH lost to the injected faults."""
+        if self.baseline_qphh == 0:
+            return 0.0
+        return 1.0 - self.faulted_qphh / self.baseline_qphh
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable summary."""
+        return {
+            "seed": self.seed,
+            "rates": self.rates,
+            "survived": self.survived,
+            "error": self.error,
+            "baseline_tpmc": self.baseline_tpmc,
+            "baseline_qphh": self.baseline_qphh,
+            "faulted_tpmc": self.faulted_tpmc,
+            "faulted_qphh": self.faulted_qphh,
+            "tpmc_degradation": self.tpmc_degradation,
+            "qphh_degradation": self.qphh_degradation,
+            "transactions": self.transactions,
+            "aborted": self.aborted,
+            "injected": self.injected,
+            "detected": self.detected,
+            "retries": self.retries,
+            "invariant_checks": self.checks,
+            "invariant_violations": self.violations,
+        }
+
+
+def _build_engine(
+    seed: int, scale: float, defrag_period: int, controller_kind: str
+) -> PushTapEngine:
+    return PushTapEngine.build(
+        scale=scale,
+        seed=seed,
+        controller_kind=controller_kind,
+        defrag_period=defrag_period,
+        block_rows=256,
+    )
+
+
+def run_fault_sweep(
+    seed: int,
+    rates: FaultRates,
+    intervals: int = 6,
+    txns_per_query: int = 30,
+    scale: float = 2e-5,
+    defrag_period: int = 200,
+    controller_kind: str = "pushtap",
+    delivery_fraction: float = 0.1,
+) -> SweepResult:
+    """Run the baseline and faulted workloads; returns the comparison.
+
+    ``intervals`` query intervals of ``txns_per_query`` transactions
+    each are driven against two identically built engines. The faulted
+    run installs a :class:`FaultPlan` derived from ``seed`` and
+    ``rates`` and checks invariants after every injected fault and at
+    every interval boundary. A nonzero ``delivery_fraction`` keeps the
+    tombstone → defragmentation reconciliation path exercised.
+    """
+    result = SweepResult(seed=seed, rates=dict(rates.rates))
+
+    # Baseline: same engine, same workload seeds, no injector.
+    baseline = _build_engine(seed, scale, defrag_period, controller_kind)
+    base_report = MixedWorkload(
+        baseline,
+        txns_per_query=txns_per_query,
+        seed=seed,
+        delivery_fraction=delivery_fraction,
+    ).run(intervals)
+    result.baseline_tpmc = base_report.oltp_tpmc
+    result.baseline_qphh = base_report.olap_qphh
+
+    # Faulted run: injector installed for exactly this scope.
+    engine = _build_engine(seed, scale, defrag_period, controller_kind)
+    injector = FaultInjector(FaultPlan(seed, rates))
+    checker = InvariantChecker(engine, raise_on_violation=False)
+    install(injector)
+    try:
+        workload = MixedWorkload(
+            engine,
+            txns_per_query=txns_per_query,
+            seed=seed,
+            delivery_fraction=delivery_fraction,
+            invariant_checker=checker,
+        )
+        report = workload.run(intervals)
+        result.faulted_tpmc = report.oltp_tpmc
+        result.faulted_qphh = report.olap_qphh
+        result.transactions = report.transactions
+        result.aborted = report.aborted
+    except ReproError as exc:
+        # The engine did not absorb the faults (e.g. retry budget
+        # exhausted): report the failure instead of crashing the sweep.
+        result.survived = False
+        result.error = f"{type(exc).__name__}: {exc}"
+    finally:
+        deactivate()
+    # One final end-of-run consistency audit.
+    checker.check()
+    result.injected = dict(injector.injected)
+    result.detected = dict(injector.detected)
+    result.retries = injector.retries
+    result.checks = checker.checks
+    result.violations = list(checker.violations)
+    if result.violations:
+        result.survived = False
+    return result

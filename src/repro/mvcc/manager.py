@@ -13,7 +13,7 @@ refs to device addresses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import TransactionError
 from repro.mvcc.metadata import Region, RowRef, VersionChain, VersionEntry
@@ -57,6 +57,10 @@ class MVCCManager:
         self.num_rows = initial_rows
         self._chains: Dict[int, VersionChain] = {}
         self._tombstones: Dict[int, int] = {}
+        #: Rows whose deletion defragmentation has folded into the
+        #: snapshot bitmap: their tombstone record and log entries are
+        #: gone, but the rows stay dead forever (ids are never reused).
+        self._dead_rows: Set[int] = set()
         self._log: List[UpdateRecord] = []
 
     # ------------------------------------------------------------------
@@ -65,6 +69,8 @@ class MVCCManager:
     def read(self, row_id: int, ts: int) -> RowRef:
         """Locate the version of ``row_id`` visible at ``ts``."""
         self._check_row(row_id)
+        if row_id in self._dead_rows:
+            raise TransactionError(f"row {row_id} deleted (folded by defragmentation)")
         if row_id in self._tombstones and self._tombstones[row_id] <= ts:
             raise TransactionError(f"row {row_id} deleted at ts {self._tombstones[row_id]}")
         chain = self._chains.get(row_id)
@@ -98,12 +104,28 @@ class MVCCManager:
 
         The delta row is allocated with the same rotation as the row's
         data block so defragmentation can copy it back device-locally.
+        A repeated update at the *same* timestamp (the same transaction
+        touching one row twice, e.g. a Delivery batch crediting one
+        customer for two orders) overwrites that transaction's version in
+        place: no new allocation, no new log record, one undo step.
+        All validation happens before the delta allocation, so a failed
+        update never leaks a delta row.
         """
         self._check_row(row_id)
+        if row_id in self._dead_rows:
+            raise TransactionError(f"row {row_id} deleted (folded by defragmentation)")
+        chain = self._chains.get(row_id)
+        if chain is not None:
+            if chain.head.write_ts == ts:
+                return chain.head.location
+            if chain.head.write_ts > ts:
+                raise TransactionError(
+                    f"row {row_id}: update ts {ts} precedes head ts "
+                    f"{chain.head.write_ts}"
+                )
         rotation = self.data.rotation_of(row_id)
         delta_index = self.delta.allocate(rotation)
         new_ref = RowRef(Region.DELTA, delta_index)
-        chain = self._chains.get(row_id)
         if chain is None:
             origin = VersionEntry(write_ts=0, location=RowRef(Region.DATA, row_id))
             chain = VersionChain(row_id, origin)
@@ -129,7 +151,7 @@ class MVCCManager:
     def delete(self, row_id: int, ts: int) -> None:
         """Tombstone a row as of ``ts``."""
         self._check_row(row_id)
-        if row_id in self._tombstones:
+        if row_id in self._tombstones or row_id in self._dead_rows:
             raise TransactionError(f"row {row_id} already deleted")
         self._tombstones[row_id] = ts
         self._log.append(UpdateRecord(ts, "delete", row_id, None, self.newest_ref(row_id)))
@@ -185,8 +207,16 @@ class MVCCManager:
         self._log.pop()
 
     def tombstoned_rows(self) -> List[int]:
-        """Row ids deleted so far (all committed in the single-writer sim)."""
-        return sorted(self._tombstones)
+        """Row ids deleted so far (all committed in the single-writer sim).
+
+        Includes both pending tombstones and rows whose deletion a past
+        defragmentation already folded into the snapshot bitmap.
+        """
+        return sorted(set(self._tombstones) | self._dead_rows)
+
+    def dead_rows(self) -> List[int]:
+        """Row ids whose deletion defragmentation has already folded."""
+        return sorted(self._dead_rows)
 
     # ------------------------------------------------------------------
     # Snapshot / defragmentation support
@@ -223,16 +253,28 @@ class MVCCManager:
         region.
 
         Returns ``(row_id, delta_ref)`` pairs that the storage layer must
-        copy back (delta → origin data row). Chains are truncated, all
-        delta rows released, and the update log cleared up to now.
+        copy back (delta → origin data row). Tombstoned rows are *not*
+        moved — copying a dead row's newest delta version back would be a
+        wasted Eq. 1/2 transfer since no future read can observe it.
+        Their chains are dropped and the tombstones folded into the
+        permanent dead-row set (the log entries that carried them are
+        cleared here, so the deletions must survive elsewhere). Chains of
+        live rows are truncated, all delta rows released, and the update
+        log cleared up to now.
         """
+        dead = self._dead_rows | set(self._tombstones)
         moves: List[Tuple[int, RowRef]] = []
         for chain in list(self._chains.values()):
+            if chain.row_id in dead:
+                del self._chains[chain.row_id]
+                continue
             head_loc = chain.head.location
             if head_loc.region == Region.DELTA:
                 moves.append((chain.row_id, head_loc))
                 chain.head.location = RowRef(Region.DATA, chain.row_id)
             chain.truncate_to_head()
+        self._dead_rows.update(self._tombstones)
+        self._tombstones.clear()
         self.delta.release_all()
         self._log.clear()
         return moves

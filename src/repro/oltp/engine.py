@@ -16,6 +16,8 @@ from typing import Callable, Dict, Hashable, Optional, Sequence, Tuple
 from repro.core.config import SystemConfig
 from repro.core.database import Database
 from repro.errors import TransactionAborted, TransactionError
+from repro.faults import injector as faults
+from repro.faults import plan as fault_plan
 from repro.format.schema import Value
 from repro.oltp.formats import AccessFormatModel
 from repro.pim.timing import random_line_time
@@ -163,13 +165,25 @@ class TxnContext:
 
     def update(self, table: str, row_id: int, changes: Dict[str, Value]) -> None:
         """Install a new version of a row with ``changes``."""
+        inj = faults.active()
+        if inj.enabled and inj.fire(fault_plan.DELTA_EXHAUSTION):
+            # The delta region reports exhaustion mid-transaction: the
+            # allocation fails and the transaction aborts gracefully (its
+            # earlier writes roll back), instead of crashing the engine.
+            inj.detect(fault_plan.DELTA_EXHAUSTION)
+            raise TransactionAborted(
+                "injected fault: delta region exhausted mid-transaction"
+            )
         runtime = self.engine.db.table(table)
-        self.breakdown.chain += (
-            runtime.mvcc.chain_length(row_id) * self.engine.cost.chain_entry_ns
-        )
+        chain_before = runtime.mvcc.chain_length(row_id)
+        self.breakdown.chain += chain_before * self.engine.cost.chain_entry_ns
         self.breakdown.alloc += self.engine.cost.alloc_ns
         runtime.update_row(row_id, self.ts, changes)
-        self._undo.append(lambda: runtime.mvcc.undo_update(row_id))
+        # A same-transaction re-update overwrites this transaction's
+        # version in place (no new chain entry) — it must not stack a
+        # second undo step for the single installed version.
+        if runtime.mvcc.chain_length(row_id) > chain_before:
+            self._undo.append(lambda: runtime.mvcc.undo_update(row_id))
         # Writing a version writes the whole row (new delta row).
         self._account_access(table, None, write=True)
         self.breakdown.compute += self.engine.cost.compute_per_op_ns
@@ -284,12 +298,21 @@ class OLTPEngine:
         ts = self.db.oracle.next_timestamp()
         ctx = TxnContext(self, ts)
         tel = telemetry.active()
+        inj = faults.active()
         txn_name = getattr(txn, "txn_name", None) or getattr(txn, "__name__", "txn")
+        injected_abort = inj.enabled and inj.fire(fault_plan.FORCED_ABORT)
         try:
+            if injected_abort:
+                # Abort storm: concurrency control force-aborts before the
+                # transaction body runs; the engine surfaces it like any
+                # other abort (rolled back, counted, no crash).
+                raise TransactionAborted("injected fault: forced abort storm")
             txn(ctx)
         except TransactionAborted:
             ctx.rollback()
             self.aborted += 1
+            if injected_abort:
+                inj.detect(fault_plan.FORCED_ABORT)
             if tel.enabled:
                 tel.counter("oltp.txn.aborted").inc()
                 tel.counter(f"oltp.txn.{txn_name}.aborted").inc()

@@ -193,6 +193,7 @@ def new_order(params: NewOrderParams) -> Callable[[TxnContext], None]:
             )
 
     txn.txn_name = "new_order"
+    txn.o_id = params.o_id
     return txn
 
 
@@ -458,6 +459,20 @@ class TPCCDriver:
     def pending_deliveries(self) -> int:
         """New orders generated by this driver but not yet delivered."""
         return len(self._undelivered)
+
+    def note_abort(self, txn: Callable[[TxnContext], None]) -> None:
+        """Forget bookkeeping for a transaction that aborted.
+
+        A New-Order that rolled back never created its ORDER/NEWORDER
+        rows, so the driver must not route a later Delivery (or
+        Order-Status / Stock-Level) at its order id — those lookups
+        would fail on keys that were never inserted.
+        """
+        o_id = getattr(txn, "o_id", None)
+        if o_id is None:
+            return
+        self._undelivered = [o for o in self._undelivered if o.o_id != o_id]
+        self._recent_orders = [o for o in self._recent_orders if o.o_id != o_id]
 
     def next_transaction(self) -> Callable[[TxnContext], None]:
         """Generate the next transaction of the mix."""

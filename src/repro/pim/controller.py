@@ -25,6 +25,8 @@ from typing import List, Optional, Sequence
 
 from repro.core.config import SystemConfig
 from repro.errors import ProtocolError
+from repro.faults import injector as faults
+from repro.faults import plan as fault_plan
 from repro.pim.pim_unit import PIMUnit
 from repro.pim.requests import LaunchRequest, decode_launch
 from repro.telemetry import registry as telemetry
@@ -81,6 +83,16 @@ class _ControllerBase:
         self.config = config
         self.units: List[PIMUnit] = list(units)
         self.stats = ControllerStats()
+        #: Whether the most recent launch() actually reached the units.
+        #: Fault injection can make a launch vanish (dropped write) or
+        #: arrive garbled; the caller must then retry the launch.
+        self.last_launch_accepted = True
+        #: Hook name of the fault that rejected the last launch, if any.
+        self.last_launch_fault: Optional[str] = None
+        #: Whether the most recent poll() reported all units done. Fault
+        #: injection can deliver "not done" a few extra times.
+        self.last_poll_done = True
+        self._not_done_polls = 0
 
     @property
     def num_units(self) -> int:
@@ -132,6 +144,50 @@ class _ControllerBase:
                     "pim.control", cost.total, {"kind": kind, "cpu_time": cost.cpu_time}
                 )
 
+    # ------------------------------------------------------------------
+    # Fault injection (control-path anomalies)
+    # ------------------------------------------------------------------
+    def _injected_launch_fault(self, request: LaunchRequest) -> Optional[str]:
+        """Whether this launch is lost in flight; returns the hook name.
+
+        A *dropped* launch never reaches the scheduler at all; a
+        *garbled* one arrives with a corrupted Fig. 7b encoding, which
+        the scheduler rejects (detected at the controller). Either way
+        the operation is not armed and the CPU must re-issue it.
+        """
+        inj = faults.active()
+        if not inj.enabled:
+            return None
+        if inj.fire(fault_plan.DROP_LAUNCH):
+            return fault_plan.DROP_LAUNCH
+        if inj.fire(fault_plan.GARBLE_LAUNCH):
+            # Corrupt the op-type byte and confirm the scheduler's decode
+            # path rejects the payload — the detection is real, not assumed.
+            payload = bytearray(request.encode())
+            payload[0] ^= 0xFF
+            try:
+                decode_launch(bytes(payload))
+            except ProtocolError:
+                inj.detect(fault_plan.GARBLE_LAUNCH)
+            return fault_plan.GARBLE_LAUNCH
+        return None
+
+    def _poll_reports_done(self) -> bool:
+        """Consult fault injection: does this poll report all-done?
+
+        A :data:`~repro.faults.plan.POLL_NOT_DONE` fault makes the
+        polling module answer "not done" for 1–3 extra polls, forcing
+        the CPU into its retry-with-backoff loop.
+        """
+        if self._not_done_polls > 0:
+            self._not_done_polls -= 1
+            return False
+        inj = faults.active()
+        if inj.enabled and inj.fire(fault_plan.POLL_NOT_DONE):
+            self._not_done_polls = inj.draw_int(fault_plan.POLL_NOT_DONE, 1, 3) - 1
+            return False
+        return True
+
 
 class OriginalController(_ControllerBase):
     """The unmodified general-purpose PIM controller (§2.1).
@@ -176,6 +232,15 @@ class OriginalController(_ControllerBase):
         # handover is still charged (exactly once) and banks lock.
         begin = self.begin_offload()
         cpu_time = self.num_units * self.config.unit_message_latency
+        self.last_launch_fault = self._injected_launch_fault(request)
+        self.last_launch_accepted = self.last_launch_fault is None
+        if self.last_launch_accepted:
+            inj = faults.active()
+            if inj.enabled and inj.fire(fault_plan.DUPLICATE_LAUNCH):
+                # One unit receives its message twice; re-delivery to an
+                # idle unit is detected and ignored, costing one message.
+                inj.detect(fault_plan.DUPLICATE_LAUNCH)
+                cpu_time += self.config.unit_message_latency
         self.stats.launches += 1
         self.stats.control_time += cpu_time
         cost = ControlCost(cpu_time, begin.handover_time)
@@ -184,6 +249,7 @@ class OriginalController(_ControllerBase):
 
     def poll(self) -> ControlCost:
         cpu_time = self.num_units * self.config.unit_message_latency
+        self.last_poll_done = self._poll_reports_done()
         self.stats.polls += 1
         self.stats.control_time += cpu_time
         cost = ControlCost(cpu_time, 0.0)
@@ -243,12 +309,30 @@ class PushTapController(_ControllerBase):
         if self._pending is not None:
             raise ProtocolError("launch while a previous operation is still pending")
         cpu_time = self.config.controller_request_latency
+        self.last_launch_fault = self._injected_launch_fault(request)
+        self.last_launch_accepted = self.last_launch_fault is None
+        if not self.last_launch_accepted:
+            # The disguised write was lost or rejected: nothing is armed,
+            # no banks are handed over; the CPU still paid the access.
+            self.stats.launches += 1
+            self.stats.control_time += cpu_time
+            cost = ControlCost(cpu_time, 0.0)
+            self._record("launches", cost)
+            return cost
         handover = 0.0
         if request.op.needs_bank_handover:
             handover = self.config.mode_switch_latency * self.num_ranks
             self._lock_banks(True)
             self.stats.handovers += 1
         self._pending = request
+        inj = faults.active()
+        if inj.enabled and inj.fire(fault_plan.DUPLICATE_LAUNCH):
+            # The scheduler sees the same disguised write twice; the
+            # duplicate matches the pending request and is dropped —
+            # exactly the lost/duplicated-pending check the invariant
+            # checker asserts — at the cost of one more request.
+            inj.detect(fault_plan.DUPLICATE_LAUNCH)
+            cpu_time += self.config.controller_request_latency
         self.stats.launches += 1
         self.stats.control_time += cpu_time + handover
         cost = ControlCost(cpu_time, handover)
@@ -260,6 +344,7 @@ class PushTapController(_ControllerBase):
     def poll(self) -> ControlCost:
         """Polling-module path: one disguised read answers the CPU."""
         cpu_time = self.config.controller_request_latency
+        self.last_poll_done = self._poll_reports_done()
         self.stats.polls += 1
         self.stats.control_time += cpu_time
         cost = ControlCost(cpu_time, 0.0)

@@ -19,12 +19,26 @@ from dataclasses import dataclass, field
 from typing import List, Protocol, Sequence
 
 from repro.errors import QueryError
-from repro.pim.controller import _ControllerBase
+from repro.faults import injector as faults
+from repro.faults import plan as fault_plan
+from repro.pim.controller import ControlCost, _ControllerBase
 from repro.pim.pim_unit import PIMUnit
 from repro.pim.requests import LaunchRequest, OpType
 from repro.telemetry import registry as telemetry
 
-__all__ = ["ChunkedOperation", "PhaseTrace", "ExecutionResult", "TwoPhaseExecutor"]
+__all__ = [
+    "ChunkedOperation",
+    "PhaseTrace",
+    "ExecutionResult",
+    "TwoPhaseExecutor",
+    "MAX_FAULT_RETRIES",
+    "RETRY_BACKOFF_BASE_NS",
+]
+
+#: Bounded retries per control interaction before giving up on a query.
+MAX_FAULT_RETRIES = 8
+#: First retry backoff (simulated ns); doubles per attempt.
+RETRY_BACKOFF_BASE_NS = 100.0
 
 
 class ChunkedOperation(Protocol):
@@ -105,6 +119,54 @@ class TwoPhaseExecutor:
     def __init__(self, controller: _ControllerBase) -> None:
         self.controller = controller
 
+    # ------------------------------------------------------------------
+    # Fault-tolerant control interactions
+    # ------------------------------------------------------------------
+    def _launch_with_retry(self, request: LaunchRequest) -> ControlCost:
+        """Launch ``request``, re-issuing after transient launch faults.
+
+        Dropped or garbled launches (fault injection) leave the
+        controller un-armed; the CPU detects this, waits an exponential
+        backoff in *simulated* time, and re-issues — all charged to the
+        query's control time. Exhausting the retry budget raises
+        :class:`~repro.errors.QueryError`.
+        """
+        cpu_time = 0.0
+        handover = 0.0
+        for attempt in range(MAX_FAULT_RETRIES + 1):
+            cost = self.controller.launch(request)
+            cpu_time += cost.cpu_time
+            handover += cost.handover_time
+            if self.controller.last_launch_accepted:
+                return ControlCost(cpu_time, handover)
+            inj = faults.active()
+            inj.detect(self.controller.last_launch_fault or fault_plan.DROP_LAUNCH)
+            backoff = RETRY_BACKOFF_BASE_NS * (2.0 ** attempt)
+            inj.retry(backoff)
+            cpu_time += backoff
+        raise QueryError(
+            f"{request.op.name} launch not accepted after "
+            f"{MAX_FAULT_RETRIES} retries (injected control faults)"
+        )
+
+    def _poll_with_retry(self) -> ControlCost:
+        """Poll until the controller reports done, with bounded backoff."""
+        cpu_time = 0.0
+        for attempt in range(MAX_FAULT_RETRIES + 1):
+            cost = self.controller.poll()
+            cpu_time += cost.cpu_time
+            if self.controller.last_poll_done:
+                return ControlCost(cpu_time, 0.0)
+            inj = faults.active()
+            inj.detect(fault_plan.POLL_NOT_DONE)
+            backoff = RETRY_BACKOFF_BASE_NS * (2.0 ** attempt)
+            inj.retry(backoff)
+            cpu_time += backoff
+        raise QueryError(
+            f"poll still not done after {MAX_FAULT_RETRIES} retries "
+            "(injected control faults)"
+        )
+
     def execute(self, op: ChunkedOperation) -> ExecutionResult:
         """Run all phases of ``op``; returns aggregate timing.
 
@@ -125,42 +187,60 @@ class TwoPhaseExecutor:
         result.total_time += begin_cost.total
         result.control_time += begin_cost.total
         result.cpu_blocked_time += begin_cost.total
+        inj = faults.active()
         for chunk in range(op.num_chunks()):
             load_req = op.load_request(chunk)
             if load_req.op != OpType.LS and load_req.op != OpType.DEFRAGMENT:
                 raise QueryError(f"load phase must be LS/Defragment, got {load_req.op.name}")
-            launch_cost = self.controller.launch(load_req)
+            launch_cost = self._launch_with_retry(load_req)
             load_time = max(op.load(unit, chunk) for unit in units)
             self.controller.finish(load_req)
-            poll_cost = self.controller.poll()
+            poll_cost = self._poll_with_retry()
 
             compute_req = op.compute_request(chunk)
             if compute_req.op.needs_bank_handover:
                 raise QueryError(
                     f"compute phase must be WRAM-only, got {compute_req.op.name}"
                 )
-            c_launch_cost = self.controller.launch(compute_req)
+            c_launch_cost = self._launch_with_retry(compute_req)
             compute_time = max(op.compute(unit, chunk) for unit in units)
             self.controller.finish(compute_req)
-            c_poll_cost = self.controller.poll()
+            c_poll_cost = self._poll_with_retry()
+
+            reissue_control = 0.0
+            reissue_compute = 0.0
+            if inj.enabled and inj.fire(fault_plan.CHUNK_REISSUE):
+                # The WRAM-resident chunk is re-issued: the units recompute
+                # the same staged data (results are overwritten, not
+                # accumulated — the chunk stays loaded), so only the extra
+                # launch/poll round and compute time are charged.
+                inj.detect(fault_plan.CHUNK_REISSUE)
+                r_launch = self._launch_with_retry(compute_req)
+                self.controller.finish(compute_req)
+                r_poll = self._poll_with_retry()
+                reissue_control = r_launch.total + r_poll.total
+                reissue_compute = compute_time
 
             control = (
                 launch_cost.total
                 + poll_cost.total
                 + c_launch_cost.total
                 + c_poll_cost.total
+                + reissue_control
             )
-            result.total_time += control + load_time + compute_time
+            compute_total = compute_time + reissue_compute
+            result.total_time += control + load_time + compute_total
             result.load_time += load_time
-            result.compute_time += compute_time
+            result.compute_time += compute_total
             result.control_time += control
             blocked = launch_cost.total + load_time + poll_cost.cpu_time
             blocked += c_launch_cost.total + c_poll_cost.cpu_time
+            blocked += reissue_control
             if blocking_compute:
-                blocked += compute_time
+                blocked += compute_total
             result.cpu_blocked_time += blocked
             result.phases += 1
-            result.traces.append(PhaseTrace(chunk, control, load_time, compute_time))
+            result.traces.append(PhaseTrace(chunk, control, load_time, compute_total))
             if tel.enabled:
                 op_name = compute_req.op.name
                 tel.counter("pim.executor.phases").inc()
@@ -171,8 +251,20 @@ class TwoPhaseExecutor:
                     "pim.phase.load", load_time, {"chunk": chunk, "op": op_name}
                 )
                 tel.record_span(
-                    "pim.phase.compute", compute_time, {"chunk": chunk, "op": op_name}
+                    "pim.phase.compute", compute_total, {"chunk": chunk, "op": op_name}
                 )
+            if inj.enabled and inj.fire(fault_plan.INTERRUPT_OFFLOAD):
+                # The offload is interrupted at the chunk boundary (e.g. a
+                # higher-priority CPU burst): bank control returns to the
+                # CPU and the offload is re-opened, re-paying any per-
+                # offload handover the controller charges.
+                inj.detect(fault_plan.INTERRUPT_OFFLOAD)
+                stop_cost = self.controller.end_offload()
+                resume_cost = self.controller.begin_offload()
+                extra = stop_cost.total + resume_cost.total
+                result.total_time += extra
+                result.control_time += extra
+                result.cpu_blocked_time += extra
         end_cost = self.controller.end_offload()
         result.total_time += end_cost.total
         result.control_time += end_cost.total

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.engine import PushTapEngine
 from repro.errors import ConfigError
+from repro.faults import injector as faults
 from repro.telemetry import registry as telemetry
 from repro.telemetry.metrics import Histogram
 from repro.units import S
@@ -30,6 +31,7 @@ class WorkloadReport:
     """
 
     transactions: int = 0
+    aborted: int = 0
     queries: int = 0
     oltp_time: float = 0.0
     olap_time: float = 0.0
@@ -42,11 +44,21 @@ class WorkloadReport:
         return self.oltp_time + self.olap_time + self.defrag_time
 
     @property
+    def committed(self) -> int:
+        """Transactions that committed (executed minus aborted)."""
+        return self.transactions - self.aborted
+
+    @property
     def oltp_tpmc(self) -> float:
-        """Transactions per simulated minute."""
+        """Committed transactions per simulated minute.
+
+        Aborted transactions consume time but do not count — the
+        standard tpmC definition (an abort storm must not *raise*
+        reported throughput just because aborts are cheap).
+        """
         if self.simulated_time == 0:
             return 0.0
-        return self.transactions / self.simulated_time * S * 60.0
+        return self.committed / self.simulated_time * S * 60.0
 
     @property
     def olap_qphh(self) -> float:
@@ -62,18 +74,21 @@ class WorkloadReport:
 
     def observe_query(self, name: str, latency: float) -> None:
         """Record one query latency sample."""
+        self.query_histogram(name).observe(latency)
+
+    def query_histogram(self, name: str) -> Histogram:
+        """The latency histogram of one query type (empty if never run).
+
+        The histogram is registered on first access, so observations made
+        through the returned handle are retained by the report rather
+        than silently dropped.
+        """
         hist = self.query_histograms.get(name)
         if hist is None:
             hist = self.query_histograms[name] = Histogram(
                 f"workload.query.{name}.latency_ns"
             )
-        hist.observe(latency)
-
-    def query_histogram(self, name: str) -> Histogram:
-        """The latency histogram of one query type (empty if never run)."""
-        return self.query_histograms.get(
-            name, Histogram(f"workload.query.{name}.latency_ns")
-        )
+        return hist
 
     def mean_query_latency(self, name: str) -> float:
         """Average simulated latency of one query type."""
@@ -96,6 +111,7 @@ class MixedWorkload:
         seed: int = 11,
         payment_fraction: float = 0.5,
         delivery_fraction: float = 0.0,
+        invariant_checker=None,
     ) -> None:
         if txns_per_query < 0:
             raise ConfigError("txns_per_query must be non-negative")
@@ -104,11 +120,32 @@ class MixedWorkload:
         self.engine = engine
         self.txns_per_query = txns_per_query
         self.queries = list(queries)
+        # The mix fractions go through make_driver → the TPCCDriver
+        # constructor, so its validation applies (an invalid
+        # payment/delivery mix raises instead of being assigned blindly).
         self.driver = engine.make_driver(
-            seed=seed, payment_fraction=payment_fraction
+            seed=seed,
+            payment_fraction=payment_fraction,
+            delivery_fraction=delivery_fraction,
         )
-        self.driver.delivery_fraction = delivery_fraction
+        #: Optional :class:`~repro.faults.invariants.InvariantChecker`,
+        #: consulted after every injected fault and at interval ends.
+        self.invariant_checker = invariant_checker
         self._query_cursor = 0
+
+    def _maybe_check(self, force: bool = False) -> None:
+        """Run the invariant checker at a safe point.
+
+        Checks run when fault injection reports pending (injected) faults
+        since the last check, or unconditionally with ``force`` (interval
+        boundaries).
+        """
+        checker = self.invariant_checker
+        if checker is None:
+            return
+        pending = faults.active().take_pending_checks()
+        if pending or force:
+            checker.check()
 
     def run(self, num_queries: int) -> WorkloadReport:
         """Run ``num_queries`` query intervals; returns the report."""
@@ -117,15 +154,21 @@ class MixedWorkload:
         defrag_before = engine.stats.defrag_time
         for _ in range(num_queries):
             for _ in range(self.txns_per_query):
-                result = engine.execute_transaction(self.driver.next_transaction())
+                txn = self.driver.next_transaction()
+                result = engine.execute_transaction(txn)
                 report.transactions += 1
+                if result.aborted:
+                    report.aborted += 1
+                    self.driver.note_abort(txn)
                 report.oltp_time += result.total_time
+                self._maybe_check()
             name = self.queries[self._query_cursor % len(self.queries)]
             self._query_cursor += 1
             query = engine.query(name)
             report.queries += 1
             report.olap_time += query.total_time
             report.observe_query(name, query.total_time)
+            self._maybe_check(force=True)
         report.defrag_time = engine.stats.defrag_time - defrag_before
         tel = telemetry.active()
         if tel.enabled:

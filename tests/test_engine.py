@@ -168,3 +168,30 @@ class TestMultiRank:
 
         with pytest.raises(ConfigError):
             PushTapEngine.build(scale=1e-5, ranks=0, block_rows=256)
+
+
+class TestDeliveryDefragReconciliation:
+    """Delivery tombstones survive defragmentation as permanent dead rows."""
+
+    def test_tombstones_fold_into_dead_rows(self, fresh_engine):
+        from repro.errors import TransactionError
+        from repro.faults.invariants import InvariantChecker
+
+        engine = fresh_engine
+        driver = engine.make_driver(
+            seed=7, payment_fraction=0.2, delivery_fraction=0.5
+        )
+        engine.run_transactions(40, driver)
+        mvcc = engine.table("neworder").mvcc
+        pending = set(mvcc._tombstones)
+        assert pending, "expected deliveries to tombstone neworder rows"
+        engine.defragment()
+        assert not mvcc._tombstones
+        assert pending <= mvcc._dead_rows
+        # The folded deletions stay observable after the log was cleared.
+        row = next(iter(pending))
+        ts = engine.db.oracle.read_timestamp()
+        with pytest.raises(TransactionError, match="deleted"):
+            mvcc.read(row, ts)
+        assert pending <= set(mvcc.tombstoned_rows())
+        assert InvariantChecker(engine, raise_on_violation=False).check() == []

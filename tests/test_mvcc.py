@@ -231,3 +231,80 @@ class TestMVCCManager:
             mv.read(100, 1)
         with pytest.raises(TransactionError):
             mv.update(-1, 1)
+
+
+class TestTombstoneCompaction:
+    """Defragmentation must not resurrect or move deleted rows."""
+
+    def make(self):
+        return MVCCManager(
+            initial_rows=100,
+            capacity_rows=256,
+            block_rows=32,
+            num_devices=8,
+            delta_capacity_blocks=16,
+        )
+
+    def test_compact_skips_tombstoned_rows(self):
+        mv = self.make()
+        mv.update(5, ts=2)  # newest version in the delta...
+        mv.delete(5, ts=3)  # ...then the row dies
+        live = mv.update(6, ts=4)
+        moves = mv.compact()
+        assert moves == [(6, live)]  # no move for the dead row
+        assert 5 not in mv._chains
+
+    def test_compact_folds_tombstones_into_dead_rows(self):
+        mv = self.make()
+        mv.delete(7, ts=2)
+        mv.compact()
+        assert not mv._tombstones
+        assert mv.dead_rows() == [7]
+        assert 7 in mv.tombstoned_rows()
+        with pytest.raises(TransactionError, match="deleted"):
+            mv.read(7, 10)
+        with pytest.raises(TransactionError, match="already deleted"):
+            mv.delete(7, ts=11)
+        with pytest.raises(TransactionError, match="deleted"):
+            mv.update(7, ts=12)
+
+    def test_dead_rows_survive_further_compactions(self):
+        mv = self.make()
+        mv.delete(7, ts=2)
+        mv.compact()
+        mv.update(8, ts=3)
+        mv.compact()
+        assert mv.dead_rows() == [7]
+        with pytest.raises(TransactionError, match="deleted"):
+            mv.read(7, 10)
+
+
+class TestUpdateAtomicity:
+    """update() validates before allocating and is idempotent per txn."""
+
+    def make(self):
+        return MVCCManager(
+            initial_rows=100,
+            capacity_rows=256,
+            block_rows=32,
+            num_devices=8,
+            delta_capacity_blocks=16,
+        )
+
+    def test_same_ts_update_overwrites_in_place(self):
+        mv = self.make()
+        first = mv.update(5, ts=3)
+        log_before = mv.log_length
+        again = mv.update(5, ts=3)
+        assert again == first  # one version per (row, transaction)
+        assert mv.chain_length(5) == 2
+        assert mv.log_length == log_before
+        assert mv.delta.allocated_rows == 1
+
+    def test_failed_update_leaks_no_delta_row(self):
+        mv = self.make()
+        mv.update(5, ts=3)
+        before = mv.delta.allocated_rows
+        with pytest.raises(TransactionError, match="precedes"):
+            mv.update(5, ts=2)
+        assert mv.delta.allocated_rows == before

@@ -114,6 +114,22 @@ class TestIncrementalUpdate:
         assert cost.bits_flipped == 4
         assert cost.bitmap_bytes > 0
 
+    def test_bitmap_cost_grouped_by_cache_line(self):
+        """One packed-bitmap cache line covers 8 * cache_line_bytes rows.
+
+        Rows 0 and 99 (and their delta rows) are farther apart than the
+        8 B per-device interleave granularity but share one 64 B bitmap
+        line each; grouping by granularity used to charge four lines.
+        """
+        storage, mvcc, snap = make()
+        mvcc.update(0, ts=1)
+        mvcc.update(99, ts=2)
+        cost = snap.update_to(2)
+        line = storage.rank.geometry.cache_line_bytes
+        assert line == 64
+        # One data-region granule + one delta-region granule.
+        assert cost.bitmap_bytes == 2 * line
+
     def test_cost_merge(self):
         _, mvcc, snap = make()
         mvcc.update(1, ts=1)

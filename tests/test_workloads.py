@@ -222,6 +222,42 @@ class TestMixedWorkloadDriver:
         with pytest.raises(ConfigError):
             MixedWorkload(fresh_engine, queries=())
 
+    def test_delivery_fraction_reaches_driver(self, fresh_engine):
+        from repro.workloads.driver import MixedWorkload
+
+        workload = MixedWorkload(
+            fresh_engine, payment_fraction=0.4, delivery_fraction=0.2
+        )
+        assert workload.driver.payment_fraction == 0.4
+        assert workload.driver.delivery_fraction == 0.2
+
+    def test_invalid_delivery_mix_rejected(self, fresh_engine):
+        from repro.errors import TransactionError
+        from repro.workloads.driver import MixedWorkload
+
+        with pytest.raises(TransactionError, match="delivery_fraction"):
+            MixedWorkload(
+                fresh_engine, payment_fraction=0.5, delivery_fraction=0.8
+            )
+
+    def test_query_histogram_handle_is_retained(self):
+        from repro.workloads.driver import WorkloadReport
+
+        report = WorkloadReport()
+        report.query_histogram("Q1").observe(5.0)
+        # The handle returned before any observe_query call must be the
+        # registered histogram, not a fresh throwaway.
+        assert report.mean_query_latency("Q1") == 5.0
+        assert report.query_latencies["Q1"] == [5.0]
+
+    def test_tpmc_counts_committed_only(self):
+        from repro.units import S
+        from repro.workloads.driver import WorkloadReport
+
+        report = WorkloadReport(transactions=12, aborted=2, oltp_time=60.0 * S)
+        assert report.committed == 10
+        assert report.oltp_tpmc == pytest.approx(10.0)
+
 
 class TestEngineReport:
     def test_report_contents(self, worked_engine):
