@@ -555,14 +555,26 @@ class PushTapEngine:
             inj.detect(fault_plan.DEFRAG_MID_QUERY)
             self.defragment()
         ts = self.db.oracle.read_timestamp()
+        tel = telemetry.active()
+        # The query wrapper must start *after* any fault-injected defrag
+        # above — defrag time is accounted separately, not in the query.
+        t0 = tel.sim_time if tel.enabled else 0.0
         result = run_query(name, self.olap, self.db, ts)
         self.stats.queries += 1
         self.stats.olap_time += result.total_time
-        tel = telemetry.active()
         if tel.enabled:
             tel.counter("olap.queries").inc()
             tel.histogram(f"olap.query.{name}.latency_ns").observe(result.total_time)
-            tel.record_span("olap.query", result.total_time, {"query": name})
+            # Sub-spans (snapshots, operator scans) advanced the cursor by
+            # the PIM-side time; the remainder of the query's total is CPU
+            # glue (harvest, merges, bucket exchange), recorded as its own
+            # serial span so the wrapper's window covers the whole query.
+            cpu_gap = result.total_time - (tel.sim_time - t0)
+            if cpu_gap > 1e-9:
+                tel.record_span("olap.cpu", cpu_gap, {"query": name})
+            tel.record_span(
+                "olap.query", tel.sim_time - t0, {"query": name}, start=t0
+            )
         return result
 
     # ------------------------------------------------------------------

@@ -22,7 +22,7 @@ The same class serves both functional byte movement (``write_row`` /
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -192,23 +192,69 @@ class TableStorage:
     def write_row(self, ref: RowRef, values: Dict[str, Value]) -> None:
         """Pack and store a full row at ``ref``."""
         packed = self.layout.pack_row(values)
+        num_devices = self.rank.num_devices
+        rotation = self.rotation_of(ref.region, ref.index)
         for part in self.layout.parts:
             addr = self.row_addr(ref.region, part.index, ref.index)
             for slot in part.slots:
-                device = self.device_of_slot(ref.region, ref.index, slot.slot_index)
+                device = (slot.slot_index + rotation) % num_devices
                 self.rank.device_write(device, addr, packed[part.index][slot.slot_index])
 
-    def read_row(self, ref: RowRef) -> Dict[str, Value]:
-        """Read and unpack a full row from ``ref``."""
+    def read_row(
+        self, ref: RowRef, columns: Optional[Sequence[str]] = None
+    ) -> Dict[str, Value]:
+        """Read and unpack a row from ``ref``.
+
+        With ``columns`` given, only the byte runs of those columns are
+        read and decoded — the OLTP fast path for partial reads, which
+        skips the other slots' device traffic and per-field unpacking.
+        """
+        if columns is not None:
+            return self._read_columns(ref, columns)
+        num_devices = self.rank.num_devices
+        rotation = self.rotation_of(ref.region, ref.index)
         packed: List[List[np.ndarray]] = []
         for part in self.layout.parts:
             addr = self.row_addr(ref.region, part.index, ref.index)
             slots: List[np.ndarray] = []
             for slot in part.slots:
-                device = self.device_of_slot(ref.region, ref.index, slot.slot_index)
+                device = (slot.slot_index + rotation) % num_devices
                 slots.append(self.rank.device_read(device, addr, part.row_width))
             packed.append(slots)
         return self.layout.unpack_row(packed)
+
+    def _read_columns(self, ref: RowRef, columns: Sequence[str]) -> Dict[str, Value]:
+        """Read and decode just ``columns`` of the row at ``ref``."""
+        layout = self.layout
+        schema = layout.schema
+        num_devices = self.rank.num_devices
+        rotation = self.rotation_of(ref.region, ref.index)
+        out: Dict[str, Value] = {}
+        for name in columns:
+            col = schema.column(name)
+            runs = layout.column_runs(name)
+            if len(runs) == 1:
+                # Common case: the column is one contiguous run (all key
+                # columns and most normal columns) — a single device read.
+                run = runs[0]
+                p = run.placement
+                addr = self.row_addr(ref.region, run.part_index, ref.index)
+                device = (run.slot_index + rotation) % num_devices
+                raw = self.rank.device_read(
+                    device, addr + p.slot_offset, p.length
+                ).tobytes()
+            else:
+                buf = bytearray(col.width)
+                for run in runs:
+                    p = run.placement
+                    addr = self.row_addr(ref.region, run.part_index, ref.index)
+                    device = (run.slot_index + rotation) % num_devices
+                    buf[p.col_offset : p.col_offset + p.length] = self.rank.device_read(
+                        device, addr + p.slot_offset, p.length
+                    ).tobytes()
+                raw = bytes(buf)
+            out[name] = col.decode(raw)
+        return out
 
     def copy_row(self, src: RowRef, dst: RowRef) -> None:
         """Copy a row's bytes between refs **of the same rotation**.
@@ -280,13 +326,15 @@ class TableStorage:
         """
         col = self.layout.schema.column(column)
         runs = self.layout.column_runs(column)
+        num_devices = self.rank.num_devices
         values = []
         for row in range(num_rows):
+            rotation = self.rotation_of(region, row)
             raw = bytearray(col.width)
             for run in runs:
                 p = run.placement
                 addr = self.row_addr(region, run.part_index, row) + p.slot_offset
-                device = self.device_of_slot(region, row, run.slot_index)
+                device = (run.slot_index + rotation) % num_devices
                 raw[p.col_offset : p.col_offset + p.length] = self.rank.device_read(
                     device, addr, p.length
                 ).tobytes()

@@ -9,7 +9,7 @@ need (:meth:`TableRuntime.region_rows`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Sequence
 
 from repro.core.snapshot import SnapshotManager
 from repro.core.storage import TableStorage
@@ -56,9 +56,15 @@ class TableRuntime:
     # ------------------------------------------------------------------
     # Row access through MVCC
     # ------------------------------------------------------------------
-    def read_row(self, row_id: int, ts: int) -> Dict[str, Value]:
-        """Read the version of ``row_id`` visible at ``ts``."""
-        return self.storage.read_row(self.mvcc.read(row_id, ts))
+    def read_row(
+        self, row_id: int, ts: int, columns: Optional[Sequence[str]] = None
+    ) -> Dict[str, Value]:
+        """Read the version of ``row_id`` visible at ``ts``.
+
+        With ``columns``, only those columns are read and decoded (the
+        storage layer's partial-read fast path).
+        """
+        return self.storage.read_row(self.mvcc.read(row_id, ts), columns)
 
     def update_row(self, row_id: int, ts: int, changes: Dict[str, Value]) -> RowRef:
         """Install a new version of ``row_id`` with ``changes`` applied."""

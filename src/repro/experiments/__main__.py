@@ -213,6 +213,109 @@ def report_metrics(argv) -> int:
     return 0
 
 
+def profile(argv) -> int:
+    """``profile``: trace one workload and write the perf snapshot."""
+    import json
+    import os
+
+    from repro.trace.chrome import to_chrome_json
+    from repro.trace.flame import to_folded
+    from repro.trace.profile import run_profile
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments profile",
+        description=(
+            "Run one workload under the structured tracer; write a Chrome "
+            "trace (Perfetto-loadable), folded flamegraph stacks, a ranked "
+            "bottleneck report, and a machine-readable BENCH_<tag>.json "
+            "perf snapshot."
+        ),
+    )
+    parser.add_argument(
+        "--workload",
+        choices=["tpcc", "ch", "mixed"],
+        default="mixed",
+        help="workload mix to trace",
+    )
+    parser.add_argument(
+        "--model",
+        choices=["pushtap", "original"],
+        default="pushtap",
+        help="memory controller variant under test",
+    )
+    parser.add_argument(
+        "--intervals", type=int, default=4, help="query intervals (or query count)"
+    )
+    parser.add_argument(
+        "--txns-per-query", type=int, default=25, help="transactions per interval"
+    )
+    parser.add_argument("--scale", type=float, default=2e-5, help="CH-benCH scale")
+    parser.add_argument(
+        "--defrag-period", type=int, default=200, help="transactions between defrags"
+    )
+    parser.add_argument("--seed", type=int, default=11, help="workload seed")
+    parser.add_argument(
+        "--out-dir", default=".", help="directory for trace.json / flame.folded"
+    )
+    parser.add_argument(
+        "--tag", default="profile", help="snapshot tag (writes BENCH_<tag>.json)"
+    )
+    parser.add_argument(
+        "--top", type=int, default=10, help="bottleneck rows to print"
+    )
+    parser.add_argument(
+        "--max-samples",
+        type=int,
+        default=4096,
+        help="histogram sample bound (bounded/decimating mode)",
+    )
+    parser.add_argument(
+        "--no-per-unit-spans",
+        action="store_true",
+        help="skip per-PIM-unit detail spans (smaller trace)",
+    )
+    args = parser.parse_args(argv)
+    result = run_profile(
+        workload=args.workload,
+        model=args.model,
+        intervals=args.intervals,
+        txns_per_query=args.txns_per_query,
+        scale=args.scale,
+        seed=args.seed,
+        defrag_period=args.defrag_period,
+        max_histogram_samples=args.max_samples,
+        per_unit_spans=not args.no_per_unit_spans,
+        tag=args.tag,
+    )
+    os.makedirs(args.out_dir, exist_ok=True)
+    trace_path = os.path.join(args.out_dir, "trace.json")
+    flame_path = os.path.join(args.out_dir, "flame.folded")
+    bench_path = os.path.join(args.out_dir, f"BENCH_{args.tag}.json")
+    with open(trace_path, "w", encoding="utf-8") as fh:
+        fh.write(to_chrome_json(result.tracer))
+    with open(flame_path, "w", encoding="utf-8") as fh:
+        fh.write(to_folded(result.tracer))
+    with open(bench_path, "w", encoding="utf-8") as fh:
+        json.dump(result.bench, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(result.report.render(top=args.top))
+    sim = result.bench["simulated"]
+    wall = result.bench["wall_clock"]
+    print(
+        f"\nsimulated: {format_time_ns(sim['time_ns'])} "
+        f"({sim['transactions']} txns, {sim['queries']} queries, "
+        f"tpmC {sim['oltp_tpmc']:,.0f}, QphH {sim['olap_qphh']:,.0f})"
+    )
+    print(
+        f"wall clock: build {wall['build_s']:.2f}s, run {wall['run_s']:.2f}s, "
+        f"peak RSS {wall['peak_rss_kib'] or '?'} KiB"
+    )
+    print(f"\ntrace written to {trace_path} (load in https://ui.perfetto.dev)")
+    print(f"folded stacks written to {flame_path}")
+    print(f"bench snapshot written to {bench_path}")
+    return 0
+
+
 def fault_sweep(argv) -> int:
     """``fault-sweep``: run the workload under injected control faults."""
     from repro.faults.plan import FaultRates
@@ -312,6 +415,8 @@ def main(argv=None) -> int:
         return report_metrics(argv[1:])
     if argv and argv[0] == "fault-sweep":
         return fault_sweep(argv[1:])
+    if argv and argv[0] == "profile":
+        return profile(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's evaluation figures.",

@@ -182,16 +182,24 @@ class UnifiedLayout:
                 raise LayoutError(
                     f"key column {key!r} must be one contiguous run, got {len(runs)}"
                 )
+        # Runs are immutable after validation; sort them once so the hot
+        # per-row read path doesn't re-sort on every column_runs() call.
+        for runs in self._runs.values():
+            runs.sort(key=lambda r: r.placement.col_offset)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def column_runs(self, name: str) -> List[ColumnRun]:
-        """All byte-runs of a column, in column-offset order."""
+        """All byte-runs of a column, in column-offset order.
+
+        The returned list is the layout's cached copy — treat it as
+        read-only.
+        """
         runs = self._runs.get(name)
         if runs is None:
             raise LayoutError(f"unknown column {name!r}")
-        return sorted(runs, key=lambda r: r.placement.col_offset)
+        return runs
 
     def key_column_location(self, name: str) -> ColumnRun:
         """The single run of a key column."""

@@ -90,8 +90,16 @@ class OLAPEngine:
         """The PIM units of the rank holding ``table``."""
         return table.units if table.units is not None else self.units
 
-    def _observe(self, operator: str, op, scan: ExecutionResult, column: str) -> None:
-        """Report one operator execution into the telemetry registry."""
+    def _observe(
+        self, operator: str, op, scan: ExecutionResult, column: str, start: float
+    ) -> None:
+        """Report one operator execution into the telemetry registry.
+
+        The operator span is a *wrapper* recorded at the explicit
+        timeline position where its executor run began, so it contains
+        the phase/control spans the run recorded without advancing the
+        cursor a second time.
+        """
         tel = telemetry.active()
         if not tel.enabled:
             return
@@ -102,8 +110,9 @@ class OLAPEngine:
         tel.histogram(f"olap.operator.{operator}.latency_ns").observe(scan.total_time)
         tel.record_span(
             f"olap.operator.{operator}",
-            scan.total_time,
+            tel.sim_time - start,
             {"column": column, "phases": scan.phases},
+            start=start,
         )
 
     # ------------------------------------------------------------------
@@ -138,10 +147,11 @@ class OLAPEngine:
             condition,
             rows or table.region_rows(),
         )
+        t0 = telemetry.active().sim_time
         scan = self.executor.execute(op)
         timing.scan = timing.scan.merge(scan)
         timing.add_cpu_bytes(op.cpu_transfer_bytes, self.config.total_cpu_bandwidth)
-        self._observe("filter", op, scan, column)
+        self._observe("filter", op, scan, column, t0)
         return op
 
     def group(
@@ -155,10 +165,11 @@ class OLAPEngine:
         op = GroupOperation(
             table.storage, self._units_for(table), column, rows or table.region_rows()
         )
+        t0 = telemetry.active().sim_time
         scan = self.executor.execute(op)
         timing.scan = timing.scan.merge(scan)
         timing.add_cpu_bytes(op.cpu_transfer_bytes, self.config.total_cpu_bandwidth)
-        self._observe("group", op, scan, column)
+        self._observe("group", op, scan, column, t0)
         merged = qplan.merge_group_blocks(op)
         timing.add_cpu_bytes(merged.cpu_bytes, self.config.total_cpu_bandwidth)
         timing.cpu_time += merged.num_groups * _CPU_MERGE_NS_PER_ELEMENT
@@ -182,10 +193,11 @@ class OLAPEngine:
             indices,
             num_groups,
         )
+        t0 = telemetry.active().sim_time
         scan = self.executor.execute(op)
         timing.scan = timing.scan.merge(scan)
         timing.add_cpu_bytes(op.cpu_transfer_bytes, self.config.total_cpu_bandwidth)
-        self._observe("aggregate", op, scan, column)
+        self._observe("aggregate", op, scan, column, t0)
         return op.total()
 
     def hash_scan(
@@ -204,10 +216,11 @@ class OLAPEngine:
             rows or table.region_rows(),
             hash_function,
         )
+        t0 = telemetry.active().sim_time
         scan = self.executor.execute(op)
         timing.scan = timing.scan.merge(scan)
         timing.add_cpu_bytes(op.cpu_transfer_bytes, self.config.total_cpu_bandwidth)
-        self._observe("hash", op, scan, column)
+        self._observe("hash", op, scan, column, t0)
         return op
 
     def join(

@@ -155,13 +155,14 @@ class TxnContext:
         self.breakdown.chain += (
             runtime.mvcc.chain_length(row_id) * self.engine.cost.chain_entry_ns
         )
-        row = runtime.read_row(row_id, self.ts)
+        # Partial reads fetch only the requested columns' byte runs —
+        # the simulated cost model already charges by touched lines via
+        # _account_access; this keeps the *host* cost proportional too.
+        row = runtime.read_row(row_id, self.ts, columns)
         self._account_access(table, columns, write=False)
         self.breakdown.compute += self.engine.cost.compute_per_op_ns
         self.rows_read += 1
-        if columns is None:
-            return row
-        return {c: row[c] for c in columns}
+        return row
 
     def update(self, table: str, row_id: int, changes: Dict[str, Value]) -> None:
         """Install a new version of a row with ``changes``."""

@@ -181,6 +181,12 @@ class TwoPhaseExecutor:
         result = ExecutionResult()
         blocking_compute = self.controller.locks_banks_during_compute
         tel = telemetry.active()
+        # The controller records its own pim.control spans as launches and
+        # polls happen, so phase spans recorded here in execution order
+        # interleave with them on one coherent timeline. Per-unit detail
+        # spans (parallel lanes under each phase) are opt-in via the
+        # registry's detail_spans flag — the profiler turns it on.
+        detail = tel.enabled and tel.detail_spans
         # One offload spans every phase: the original architecture pays
         # its bank handover here (once) and holds the banks throughout.
         begin_cost = self.controller.begin_offload()
@@ -193,8 +199,19 @@ class TwoPhaseExecutor:
             if load_req.op != OpType.LS and load_req.op != OpType.DEFRAGMENT:
                 raise QueryError(f"load phase must be LS/Defragment, got {load_req.op.name}")
             launch_cost = self._launch_with_retry(load_req)
-            load_time = max(op.load(unit, chunk) for unit in units)
+            unit_load_times = [(unit, op.load(unit, chunk)) for unit in units]
+            load_time = max(t for _, t in unit_load_times)
             self.controller.finish(load_req)
+            if tel.enabled:
+                span = tel.record_span(
+                    "pim.phase.load",
+                    load_time,
+                    {"chunk": chunk, "op": load_req.op.name},
+                )
+                if detail:
+                    self._record_unit_spans(
+                        tel, "pim.unit.load", span.start, chunk, unit_load_times
+                    )
             poll_cost = self._poll_with_retry()
 
             compute_req = op.compute_request(chunk)
@@ -202,9 +219,21 @@ class TwoPhaseExecutor:
                 raise QueryError(
                     f"compute phase must be WRAM-only, got {compute_req.op.name}"
                 )
+            op_name = compute_req.op.name
             c_launch_cost = self._launch_with_retry(compute_req)
-            compute_time = max(op.compute(unit, chunk) for unit in units)
+            unit_compute_times = [(unit, op.compute(unit, chunk)) for unit in units]
+            compute_time = max(t for _, t in unit_compute_times)
             self.controller.finish(compute_req)
+            if tel.enabled:
+                span = tel.record_span(
+                    "pim.phase.compute",
+                    compute_time,
+                    {"chunk": chunk, "op": op_name},
+                )
+                if detail:
+                    self._record_unit_spans(
+                        tel, "pim.unit.compute", span.start, chunk, unit_compute_times
+                    )
             c_poll_cost = self._poll_with_retry()
 
             reissue_control = 0.0
@@ -217,6 +246,12 @@ class TwoPhaseExecutor:
                 inj.detect(fault_plan.CHUNK_REISSUE)
                 r_launch = self._launch_with_retry(compute_req)
                 self.controller.finish(compute_req)
+                if tel.enabled:
+                    tel.record_span(
+                        "pim.phase.compute",
+                        compute_time,
+                        {"chunk": chunk, "op": op_name, "reissue": True},
+                    )
                 r_poll = self._poll_with_retry()
                 reissue_control = r_launch.total + r_poll.total
                 reissue_compute = compute_time
@@ -242,17 +277,7 @@ class TwoPhaseExecutor:
             result.phases += 1
             result.traces.append(PhaseTrace(chunk, control, load_time, compute_total))
             if tel.enabled:
-                op_name = compute_req.op.name
                 tel.counter("pim.executor.phases").inc()
-                tel.record_span(
-                    "pim.phase.control", control, {"chunk": chunk, "op": op_name}
-                )
-                tel.record_span(
-                    "pim.phase.load", load_time, {"chunk": chunk, "op": op_name}
-                )
-                tel.record_span(
-                    "pim.phase.compute", compute_total, {"chunk": chunk, "op": op_name}
-                )
             if inj.enabled and inj.fire(fault_plan.INTERRUPT_OFFLOAD):
                 # The offload is interrupted at the chunk boundary (e.g. a
                 # higher-priority CPU burst): bank control returns to the
@@ -272,3 +297,26 @@ class TwoPhaseExecutor:
         if tel.enabled:
             tel.counter("pim.executor.offloads").inc()
         return result
+
+    @staticmethod
+    def _record_unit_spans(tel, name, phase_start, chunk, unit_times) -> None:
+        """Per-unit parallel lanes under one phase span.
+
+        Units run concurrently, so each unit span starts with the phase
+        and carries its own duration; explicit starts keep the serial
+        cursor untouched.
+        """
+        for unit, unit_time in unit_times:
+            if unit_time <= 0.0:
+                continue
+            tel.record_span(
+                name,
+                unit_time,
+                {
+                    "chunk": chunk,
+                    "unit": unit.unit_id,
+                    "device": unit.bank.device.index,
+                    "bank": unit.bank.index,
+                },
+                start=phase_start,
+            )

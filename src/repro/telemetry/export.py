@@ -50,7 +50,14 @@ def from_dict(data: Dict) -> MetricsRegistry:
     for name, value in data.get("gauges", {}).items():
         registry.gauges[name] = Gauge(name, value)
     for name, summary in data.get("histograms", {}).items():
-        registry.histograms[name] = Histogram(name, summary.get("samples", []))
+        if "samples" in summary:
+            registry.histograms[name] = Histogram(name, summary["samples"])
+        else:
+            # Dump written with include_samples=False: the raw
+            # distribution is gone, but the count/sum/quantile summary
+            # must survive the round-trip rather than silently reloading
+            # as an empty histogram.
+            registry.histograms[name] = Histogram.from_summary(name, summary)
     for span in data.get("spans", []):
         registry.spans.append(
             SpanEvent(
@@ -131,18 +138,21 @@ def render_report(registry: MetricsRegistry) -> str:
             )
         )
     if registry.spans:
+        from repro.trace.tracer import Tracer
+
         totals: Dict[str, List[float]] = {}
-        for span in registry.spans:
-            entry = totals.setdefault(span.name, [0, 0.0])
+        for span in Tracer(registry.spans).spans:
+            entry = totals.setdefault(span.name, [0, 0.0, 0.0])
             entry[0] += 1
             entry[1] += span.duration
+            entry[2] += span.self_time
         sections.append("spans (aggregated):")
         sections.append(
             format_table(
-                ["name", "count", "total simulated time"],
+                ["name", "count", "total simulated time", "self time"],
                 [
-                    [n, int(count), format_time_ns(total)]
-                    for n, (count, total) in sorted(totals.items())
+                    [n, int(count), format_time_ns(total), format_time_ns(self_t)]
+                    for n, (count, total, self_t) in sorted(totals.items())
                 ],
             )
         )

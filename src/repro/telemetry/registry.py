@@ -51,7 +51,7 @@ class MetricsRegistry:
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, max_histogram_samples: Optional[int] = None) -> None:
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, Histogram] = {}
@@ -60,6 +60,14 @@ class MetricsRegistry:
         #: Cursor of the serial simulated timeline; spans recorded without
         #: an explicit start are laid out end-to-end from here.
         self._sim_cursor = 0.0
+        #: When set, histograms created by this registry retain at most
+        #: this many raw samples (deterministic decimation; exact
+        #: count/sum/min/max either way). Long profiling runs set this.
+        self.max_histogram_samples = max_histogram_samples
+        #: When true, instrumented layers may emit fine-grained spans
+        #: (e.g. per-PIM-unit load/compute) that are too voluminous for
+        #: ordinary metric dumps. The profiler turns this on.
+        self.detail_spans = False
 
     # ------------------------------------------------------------------
     # Metric access (create-on-first-use)
@@ -90,7 +98,9 @@ class MetricsRegistry:
         full = self._full(name)
         metric = self.histograms.get(full)
         if metric is None:
-            metric = self.histograms[full] = Histogram(full)
+            metric = self.histograms[full] = Histogram(
+                full, max_samples=self.max_histogram_samples
+            )
         return metric
 
     # ------------------------------------------------------------------
@@ -129,6 +139,16 @@ class MetricsRegistry:
         """Current cursor of the serial simulated timeline (ns)."""
         return self._sim_cursor
 
+    def advance_to(self, ts: float) -> None:
+        """Move the timeline cursor forward to ``ts`` (never backwards).
+
+        Instrumented layers use this to align the cursor with the end of
+        a wrapper span recorded at an explicit start, so later serial
+        spans continue after it rather than overlapping it.
+        """
+        if ts > self._sim_cursor:
+            self._sim_cursor = ts
+
     # ------------------------------------------------------------------
     # Scopes
     # ------------------------------------------------------------------
@@ -164,6 +184,8 @@ class NoopRegistry:
     histograms: Dict[str, Histogram] = {}
     spans: List[SpanEvent] = []
     sim_time = 0.0
+    max_histogram_samples = None
+    detail_spans = False
 
     def counter(self, name: str) -> "Counter":
         """The shared null counter."""
@@ -180,6 +202,9 @@ class NoopRegistry:
     def record_span(self, name, duration, attrs=None, start=None) -> None:
         """Discard the span."""
         return None
+
+    def advance_to(self, ts: float) -> None:
+        """Nothing to advance."""
 
     @contextmanager
     def scope(self, name: str) -> Iterator["NoopRegistry"]:

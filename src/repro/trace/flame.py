@@ -1,0 +1,39 @@
+"""Flamegraph folded-stack aggregation of the span forest.
+
+Produces the classic ``root;child;leaf <weight>`` line format consumed
+by Brendan Gregg's ``flamegraph.pl`` and by speedscope's "import folded
+stacks". Weights are *self* (exclusive) simulated time, rounded to
+integer nanoseconds, so the flamegraph's frame widths sum to total
+simulated time without double counting parents and children.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.trace.tracer import Tracer
+
+__all__ = ["folded_stacks", "to_folded"]
+
+
+def folded_stacks(tracer: Tracer) -> Dict[Tuple[str, ...], float]:
+    """Aggregate self time by root-to-leaf name path."""
+    out: Dict[Tuple[str, ...], float] = {}
+    for span in tracer.spans:
+        self_time = span.self_time
+        if self_time <= 0.0:
+            continue
+        stack = span.stack
+        out[stack] = out.get(stack, 0.0) + self_time
+    return out
+
+
+def to_folded(tracer: Tracer) -> str:
+    """Render folded-stack lines (``a;b;c 1234``), sorted by path."""
+    lines: List[str] = []
+    for stack, weight in sorted(folded_stacks(tracer).items()):
+        rounded = int(round(weight))
+        if rounded <= 0:
+            continue
+        lines.append(f"{';'.join(stack)} {rounded}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,208 @@
+"""Profile runner: workload → trace + bottleneck report + bench snapshot.
+
+:func:`run_profile` builds an engine, runs a chosen workload under a
+recording telemetry registry (with per-unit detail spans and bounded
+histograms turned on), and returns everything the ``profile`` CLI
+subcommand writes out: the tracer, the bottleneck analysis, and the
+machine-readable ``BENCH_<tag>.json`` snapshot that future PRs diff
+perf against.
+
+Simulated metrics come from the simulated clock; ``wall_clock`` captures
+what the *host* paid to run the simulation (build/run seconds, peak
+RSS), which is what the profile-guided optimisation loop targets.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX hosts
+    resource = None
+
+from repro.core.engine import PushTapEngine
+from repro.errors import ConfigError
+from repro.telemetry import registry as telemetry
+from repro.telemetry.registry import MetricsRegistry
+from repro.trace.analysis import BottleneckReport, analyze
+from repro.trace.tracer import Tracer
+from repro.units import S
+from repro.workloads.driver import MixedWorkload
+
+__all__ = ["ProfileResult", "run_profile", "BENCH_VERSION"]
+
+#: Schema version of the BENCH snapshot.
+BENCH_VERSION = 1
+
+_WORKLOADS = ("tpcc", "ch", "mixed")
+_MODELS = ("pushtap", "original")
+
+
+@dataclass
+class ProfileResult:
+    """Everything one profiling run produced."""
+
+    registry: MetricsRegistry
+    tracer: Tracer
+    report: BottleneckReport
+    bench: Dict[str, object]
+
+
+def _peak_rss_kib() -> Optional[int]:
+    """Peak resident set size of this process in KiB (None if unknown)."""
+    if resource is None:
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    import sys
+
+    if sys.platform == "darwin":  # pragma: no cover
+        rss //= 1024
+    return int(rss)
+
+
+def run_profile(
+    workload: str = "mixed",
+    model: str = "pushtap",
+    intervals: int = 4,
+    txns_per_query: int = 25,
+    scale: float = 2e-5,
+    seed: int = 11,
+    defrag_period: int = 200,
+    queries: Sequence[str] = ("Q1", "Q6", "Q9"),
+    max_histogram_samples: Optional[int] = 4096,
+    per_unit_spans: bool = True,
+    tag: str = "profile",
+) -> ProfileResult:
+    """Run one instrumented workload and analyse its trace.
+
+    ``workload`` picks the mix: ``tpcc`` runs only transactions
+    (``intervals × txns_per_query`` of them), ``ch`` runs only the
+    analytical queries (``intervals`` of them, cycling ``queries``),
+    and ``mixed`` interleaves both through
+    :class:`~repro.workloads.driver.MixedWorkload`. ``model`` selects
+    the controller (``pushtap`` or ``original``, the Fig. 12b pair).
+    """
+    if workload not in _WORKLOADS:
+        raise ConfigError(f"unknown workload {workload!r} (one of {_WORKLOADS})")
+    if model not in _MODELS:
+        raise ConfigError(f"unknown model {model!r} (one of {_MODELS})")
+    if intervals < 1:
+        raise ConfigError("intervals must be >= 1")
+
+    build_start = time.perf_counter()
+    engine = PushTapEngine.build(
+        scale=scale,
+        seed=seed,
+        controller_kind=model,
+        defrag_period=defrag_period,
+    )
+    build_s = time.perf_counter() - build_start
+
+    registry = MetricsRegistry(max_histogram_samples=max_histogram_samples)
+    registry.detail_spans = per_unit_spans
+    telemetry.install(registry)
+    run_start = time.perf_counter()
+    try:
+        simulated = _run_workload(
+            engine, workload, intervals, txns_per_query, queries, seed
+        )
+    finally:
+        telemetry.disable()
+    run_s = time.perf_counter() - run_start
+
+    tracer = Tracer(registry.spans)
+    report = analyze(tracer)
+    bench: Dict[str, object] = {
+        "version": BENCH_VERSION,
+        "tag": tag,
+        "workload": workload,
+        "model": model,
+        "params": {
+            "intervals": intervals,
+            "txns_per_query": txns_per_query,
+            "scale": scale,
+            "seed": seed,
+            "defrag_period": defrag_period,
+            "queries": list(queries),
+        },
+        "simulated": simulated,
+        "wall_clock": {
+            "build_s": round(build_s, 4),
+            "run_s": round(run_s, 4),
+            "peak_rss_kib": _peak_rss_kib(),
+        },
+        "spans": {
+            name: stats.as_dict() for name, stats in sorted(report.names.items())
+        },
+        "tracks": {
+            track: stats.as_dict() for track, stats in sorted(report.tracks.items())
+        },
+        "critical_path_ns": report.critical_path_time,
+        "counters": {n: c.value for n, c in sorted(registry.counters.items())},
+    }
+    return ProfileResult(
+        registry=registry, tracer=tracer, report=report, bench=bench
+    )
+
+
+def _run_workload(
+    engine: PushTapEngine,
+    workload: str,
+    intervals: int,
+    txns_per_query: int,
+    queries: Sequence[str],
+    seed: int,
+) -> Dict[str, object]:
+    """Drive the engine; returns the ``simulated`` bench section."""
+    if workload == "mixed":
+        mixed = MixedWorkload(
+            engine, txns_per_query=txns_per_query, queries=queries, seed=seed
+        )
+        rep = mixed.run(intervals)
+        return {
+            "time_ns": rep.simulated_time,
+            "transactions": rep.transactions,
+            "aborted": rep.aborted,
+            "queries": rep.queries,
+            "defrag_runs": engine.stats.defrag_runs,
+            "oltp_tpmc": rep.oltp_tpmc,
+            "olap_qphh": rep.olap_qphh,
+        }
+    if workload == "tpcc":
+        driver = engine.make_driver(seed=seed)
+        aborted = 0
+        total = 0.0
+        count = intervals * txns_per_query
+        for _ in range(count):
+            result = engine.execute_transaction(driver.next_transaction())
+            total += result.total_time
+            if result.aborted:
+                aborted += 1
+        time_ns = total + engine.stats.defrag_time
+        return {
+            "time_ns": time_ns,
+            "transactions": count,
+            "aborted": aborted,
+            "queries": 0,
+            "defrag_runs": engine.stats.defrag_runs,
+            "oltp_tpmc": (count - aborted) / time_ns * S * 60.0 if time_ns else 0.0,
+            "olap_qphh": 0.0,
+        }
+    # workload == "ch": analytical queries only.
+    total = 0.0
+    for i in range(intervals):
+        total += engine.query(queries[i % len(queries)]).total_time
+    time_ns = total + engine.stats.defrag_time
+    return {
+        "time_ns": time_ns,
+        "transactions": 0,
+        "aborted": 0,
+        "queries": intervals,
+        "defrag_runs": engine.stats.defrag_runs,
+        "oltp_tpmc": 0.0,
+        "olap_qphh": intervals / time_ns * S * 3600.0 if time_ns else 0.0,
+    }

@@ -151,8 +151,10 @@ class MixedWorkload:
         """Run ``num_queries`` query intervals; returns the report."""
         report = WorkloadReport()
         engine = self.engine
+        tel = telemetry.active()
         defrag_before = engine.stats.defrag_time
-        for _ in range(num_queries):
+        for interval in range(num_queries):
+            t0 = tel.sim_time if tel.enabled else 0.0
             for _ in range(self.txns_per_query):
                 txn = self.driver.next_transaction()
                 result = engine.execute_transaction(txn)
@@ -169,8 +171,17 @@ class MixedWorkload:
             report.olap_time += query.total_time
             report.observe_query(name, query.total_time)
             self._maybe_check(force=True)
+            if tel.enabled:
+                # Wrapper over the whole txn-batch + query interval; the
+                # explicit start keeps the cursor where the sub-spans
+                # left it.
+                tel.record_span(
+                    "workload.interval",
+                    tel.sim_time - t0,
+                    {"interval": interval, "query": name},
+                    start=t0,
+                )
         report.defrag_time = engine.stats.defrag_time - defrag_before
-        tel = telemetry.active()
         if tel.enabled:
             tel.counter("workload.intervals").inc(num_queries)
             tel.gauge("workload.oltp_tpmc").set(report.oltp_tpmc)

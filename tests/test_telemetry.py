@@ -87,6 +87,97 @@ class TestMetrics:
         assert s.as_dict()["attrs"] == {}
 
 
+class TestBoundedHistogram:
+    def test_scalars_stay_exact_under_decimation(self):
+        h = Histogram("lat", max_samples=8)
+        for v in range(100):
+            h.observe(float(v))
+        assert h.count == 100
+        assert h.sum == sum(range(100))
+        assert h.min == 0.0
+        assert h.max == 99.0
+        assert len(h.samples) <= 8
+
+    def test_decimation_keeps_systematic_subset(self):
+        h = Histogram("lat", max_samples=4)
+        for v in range(9):
+            h.observe(float(v))
+        # After doubling the stride twice, every 4th observation remains.
+        assert h._stride == 4
+        assert h.samples == [0.0, 4.0, 8.0]
+
+    def test_decimation_is_deterministic(self):
+        """Seed-free: two histograms fed the same stream retain the same
+        samples — no RNG anywhere."""
+        a = Histogram("a", max_samples=16)
+        b = Histogram("b", max_samples=16)
+        stream = [float((i * 37) % 101) for i in range(500)]
+        for v in stream:
+            a.observe(v)
+            b.observe(v)
+        assert a.samples == b.samples
+        assert a.count == b.count == 500
+
+    def test_quantiles_approximate_over_retained(self):
+        h = Histogram("lat", max_samples=64)
+        for v in range(1000):
+            h.observe(float(v))
+        assert h.p50 == pytest.approx(500.0, rel=0.1)
+
+    def test_unbounded_keeps_everything(self):
+        h = Histogram("lat")
+        for v in range(100):
+            h.observe(float(v))
+        assert len(h.samples) == 100
+
+    def test_max_samples_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", max_samples=1)
+
+    def test_registry_threads_bound_through(self):
+        reg = MetricsRegistry(max_histogram_samples=4)
+        h = reg.histogram("lat")
+        for v in range(50):
+            h.observe(float(v))
+        assert h.count == 50
+        assert len(h.samples) <= 4
+
+
+class TestSummaryOnlyHistogram:
+    def make_summary(self):
+        h = Histogram("lat", samples=[1.0, 2.0, 3.0, 10.0])
+        return h, h.as_dict(include_samples=False)
+
+    def test_from_summary_preserves_statistics(self):
+        orig, summary = self.make_summary()
+        back = Histogram.from_summary("lat", summary)
+        assert back.summary_only
+        assert back.count == orig.count
+        assert back.sum == orig.sum
+        assert back.mean == orig.mean
+        assert back.min == orig.min
+        assert back.max == orig.max
+        assert back.p50 == orig.p50
+        assert back.p95 == orig.p95
+        assert back.p99 == orig.p99
+        assert back.samples == []
+
+    def test_observe_raises(self):
+        back = Histogram.from_summary("lat", self.make_summary()[1])
+        with pytest.raises(ValueError, match="summary-only"):
+            back.observe(5.0)
+
+    def test_unexported_quantile_raises(self):
+        back = Histogram.from_summary("lat", self.make_summary()[1])
+        with pytest.raises(ValueError, match="not exported"):
+            back.quantile(0.25)
+
+    def test_as_dict_round_trips_again(self):
+        _, summary = self.make_summary()
+        back = Histogram.from_summary("lat", summary)
+        assert back.as_dict(include_samples=False) == summary
+
+
 class TestRegistry:
     def test_create_on_first_use_is_stable(self):
         reg = MetricsRegistry()
@@ -118,6 +209,57 @@ class TestRegistry:
         # An explicit start does not move the cursor.
         reg.record_span("z", 100.0, start=2.0)
         assert reg.sim_time == 15.0
+
+    def test_nested_scopes_prefix_every_metric_kind(self):
+        """Prefixes stack across counters, histograms, and spans, and
+        unwind level by level."""
+        reg = MetricsRegistry()
+        with reg.scope("olap"):
+            with reg.scope("q6"):
+                reg.counter("rows").inc(2)
+                reg.histogram("scan_ns").observe(7.0)
+                reg.record_span("scan", 3.0)
+            # Inner scope popped, outer still active.
+            reg.counter("queries").inc()
+            reg.record_span("plan", 1.0)
+        assert reg.counters["olap.q6.rows"].value == 2
+        assert reg.histograms["olap.q6.scan_ns"].count == 1
+        assert reg.counters["olap.queries"].value == 1
+        assert [s.name for s in reg.spans] == ["olap.q6.scan", "olap.plan"]
+        # Same leaf name outside the scopes is a distinct metric.
+        reg.counter("rows").inc(5)
+        assert reg.counters["rows"].value == 5
+        assert reg.counters["olap.q6.rows"].value == 2
+
+    def test_reset_inside_scope_keeps_prefix(self):
+        reg = MetricsRegistry()
+        with reg.scope("pim"):
+            reg.counter("launches").inc()
+            reg.reset()
+            assert not reg.counters and not reg.spans
+            reg.counter("launches").inc()
+            reg.histogram("wait_ns").observe(1.0)
+            reg.record_span("launch", 2.0)
+        assert reg.counters["pim.launches"].value == 1
+        assert "pim.wait_ns" in reg.histograms
+        assert reg.spans[0].name == "pim.launch"
+        # Spans restart at cursor zero after the reset.
+        assert reg.spans[0].start == 0.0
+
+    def test_empty_scope_name_rejected(self):
+        with pytest.raises(ValueError):
+            with MetricsRegistry().scope(""):
+                pass
+
+    def test_advance_to_is_forward_only(self):
+        reg = MetricsRegistry()
+        reg.record_span("x", 10.0)
+        reg.advance_to(5.0)
+        assert reg.sim_time == 10.0
+        reg.advance_to(25.0)
+        assert reg.sim_time == 25.0
+        span = reg.record_span("y", 5.0)
+        assert span.start == 25.0
 
     def test_negative_duration_rejected(self):
         with pytest.raises(ValueError):
@@ -212,6 +354,32 @@ class TestExport:
         assert "samples" not in hist
         assert hist["count"] == 4
 
+    def test_sample_free_round_trip_preserves_summary(self):
+        """Regression: reloading a sample-free export must not silently
+        produce an empty histogram — count, sum, and the exported
+        quantiles all survive."""
+        reg = self.make_registry()
+        orig = reg.histograms["oltp.txn.payment.latency_ns"]
+        back = export.from_dict(export.to_dict(reg, include_samples=False))
+        copy = back.histograms["oltp.txn.payment.latency_ns"]
+        assert copy.summary_only
+        assert copy.count == orig.count == 4
+        assert copy.sum == orig.sum
+        assert copy.mean == orig.mean
+        assert (copy.min, copy.max) == (orig.min, orig.max)
+        assert (copy.p50, copy.p95, copy.p99) == (orig.p50, orig.p95, orig.p99)
+        with pytest.raises(ValueError):
+            copy.observe(1.0)
+        # Counters/gauges/spans are unaffected by sample elision.
+        assert back.counters["oltp.txn.committed"].value == 7
+        assert back.spans == reg.spans
+
+    def test_sample_free_export_re_exports(self):
+        """A reloaded sample-free registry can itself be exported."""
+        data = export.to_dict(self.make_registry(), include_samples=False)
+        again = export.to_dict(export.from_dict(data), include_samples=False)
+        assert again["histograms"] == data["histograms"]
+
     def test_csv_shape(self):
         lines = export.to_csv(self.make_registry()).strip().splitlines()
         assert lines[0] == "kind,name,field,value"
@@ -224,3 +392,18 @@ class TestExport:
                          "spans (aggregated):", "oltp.txn.committed"):
             assert fragment in text
         assert export.render_report(MetricsRegistry()) == "(no telemetry recorded)"
+
+    def test_render_report_span_self_time(self):
+        """The span table distinguishes inclusive from exclusive time:
+        a wrapper covering its children reports (near-)zero self time."""
+        reg = MetricsRegistry()
+        t0 = reg.sim_time
+        reg.record_span("pim.phase.load", 50.0)
+        reg.record_span("pim.phase.compute", 30.0)
+        reg.record_span("olap.query", reg.sim_time - t0, start=t0)
+        text = export.render_report(reg)
+        assert "self time" in text
+        query_row = next(
+            line for line in text.splitlines() if "olap.query" in line
+        )
+        assert "0 ns" in query_row
