@@ -49,7 +49,20 @@ from repro.units import KIB, ceil_div, round_up
 from repro.workloads.chbench import all_queries, ch_schema, key_columns_for, row_counts
 from repro.workloads.tpcc_gen import generate_table
 
-__all__ = ["PushTapEngine", "EngineStats"]
+__all__ = ["PushTapEngine", "EngineStats", "OLAPBatchResult"]
+
+
+@dataclass
+class OLAPBatchResult:
+    """Queries executed under one mode batch, plus the switch cost."""
+
+    results: List[QueryResult]
+    switch_time: float = 0.0
+
+    @property
+    def total_time(self) -> float:
+        """Batch wall time: the one mode switch plus every query."""
+        return self.switch_time + sum(r.total_time for r in self.results)
 
 #: Index keys matching the deterministic data generator's assignment.
 _INDEX_KEY_FNS: Dict[str, Callable[[Dict], Tuple[str, object]]] = {
@@ -471,10 +484,18 @@ class PushTapEngine:
     # ------------------------------------------------------------------
     # OLTP path
     # ------------------------------------------------------------------
-    def execute_transaction(self, txn: Callable[[TxnContext], None]) -> TxnResult:
+    def execute_transaction(
+        self, txn: Callable[[TxnContext], None], auto_defrag: bool = True
+    ) -> TxnResult:
         """Run one transaction; defragments when the period elapses or a
-        delta region nears capacity."""
-        if self._defrag_due():
+        delta region nears capacity.
+
+        ``auto_defrag=False`` defers the defragmentation decision to the
+        caller (the serve loop schedules defrag as its own work item via
+        :meth:`defrag_due` / :meth:`defragment`, so it can account the
+        pause separately from transaction latency).
+        """
+        if auto_defrag and self.defrag_due():
             self.defragment()
         result = self.oltp.execute(txn)
         self.stats.transactions += 1
@@ -496,11 +517,15 @@ class PushTapEngine:
         seed: int = 11,
         payment_fraction: float = 0.5,
         delivery_fraction: float = 0.0,
+        o_id_offset: int = 0,
+        o_id_stride: int = 1,
     ) -> TPCCDriver:
         """Create a TPC-C parameter driver consistent with the loaded data.
 
         All mix fractions pass through the driver's constructor so its
         validation applies (``payment + delivery`` must not exceed 1).
+        ``o_id_offset``/``o_id_stride`` give several drivers over the
+        same engine (one per serving tenant) disjoint order-id spaces.
         """
         counts = {name: t.num_rows for name, t in self.db.tables.items()}
         return TPCCDriver(
@@ -508,9 +533,12 @@ class PushTapEngine:
             seed=seed,
             payment_fraction=payment_fraction,
             delivery_fraction=delivery_fraction,
+            o_id_offset=o_id_offset,
+            o_id_stride=o_id_stride,
         )
 
-    def _defrag_due(self) -> bool:
+    def defrag_due(self) -> bool:
+        """Whether defragmentation should run before the next transaction."""
         if self.defrag_period and self._txns_since_defrag >= self.defrag_period:
             return True
         for runtime in self.db.tables.values():
@@ -518,6 +546,9 @@ class PushTapEngine:
             if delta.high_water_rows >= 0.8 * delta.capacity_rows:
                 return True
         return False
+
+    #: Backwards-compatible alias (pre-serve name).
+    _defrag_due = defrag_due
 
     # ------------------------------------------------------------------
     # Defragmentation
@@ -576,6 +607,24 @@ class PushTapEngine:
                 "olap.query", tel.sim_time - t0, {"query": name}, start=t0
             )
         return result
+
+    def query_batch(self, names: Sequence[str]) -> "OLAPBatchResult":
+        """Run several analytical queries under one bank mode switch.
+
+        The controller's mode-batch hook holds the banks in PIM mode for
+        the whole batch, so every query's ``LS`` launches skip their
+        per-launch handover — the amortisation PUSHtap's cheap mode
+        switches make worthwhile only when launches are batched (§1, and
+        the UPMEM launch-overhead observation). The switch cost itself is
+        charged to OLAP time but to no individual query.
+        """
+        switch_time = self.olap.begin_mode_batch()
+        try:
+            results = [self.query(name) for name in names]
+        finally:
+            switch_time += self.olap.end_mode_batch()
+        self.stats.olap_time += switch_time
+        return OLAPBatchResult(results=results, switch_time=switch_time)
 
     # ------------------------------------------------------------------
     # Introspection

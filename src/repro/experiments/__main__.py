@@ -20,6 +20,12 @@ faults and checks consistency invariants::
 
     python -m repro.experiments fault-sweep --seed 1 2 3 \\
         --rates drop_launch=0.05,forced_abort=0.1
+
+The multi-tenant serving layer (admission control, adaptive HTAP
+scheduler, per-tenant SLOs) runs deterministic simulated-time serving::
+
+    python -m repro.experiments serve --tenants 4 --policy batched --seed 7
+    python -m repro.experiments serve --ablation --out ablation.json
 """
 
 from __future__ import annotations
@@ -353,6 +359,12 @@ def fault_sweep(argv) -> int:
         help="memory controller variant under test",
     )
     parser.add_argument(
+        "--workload",
+        choices=["mixed", "serve"],
+        default="mixed",
+        help="drive the mixed batch workload or the serving loop",
+    )
+    parser.add_argument(
         "--metrics-out",
         metavar="PATH",
         default=None,
@@ -373,9 +385,11 @@ def fault_sweep(argv) -> int:
                 scale=args.scale,
                 defrag_period=args.defrag_period,
                 controller_kind=args.controller,
+                workload=args.workload,
             )
             rows.append([
                 seed,
+                result.plan_hash[:12],
                 "yes" if result.survived else "NO",
                 sum(result.injected.values()),
                 sum(result.detected.values()),
@@ -393,7 +407,7 @@ def fault_sweep(argv) -> int:
                     print(f"seed {seed}: INVARIANT: {violation}", file=sys.stderr)
         print(format_table(
             [
-                "seed", "survived", "injected", "detected", "retries",
+                "seed", "plan", "survived", "injected", "detected", "retries",
                 "checks", "violations", "tpmC loss", "QphH loss",
             ],
             rows,
@@ -408,6 +422,211 @@ def fault_sweep(argv) -> int:
     return 1 if failed else 0
 
 
+def serve(argv) -> int:
+    """``serve``: the multi-tenant serving loop (or the policy ablation)."""
+    import json
+
+    from repro.serve.loop import ServeConfig
+    from repro.serve.runner import run_policy_ablation, run_serve
+    from repro.serve.scheduler import POLICIES
+    from repro.serve.slo import SLOTargets
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments serve",
+        description=(
+            "Serve N tenants through the admission controller and adaptive "
+            "HTAP scheduler over simulated time; print (and optionally "
+            "write) the per-tenant SLO report. --ablation sweeps arrival "
+            "rate x scheduler policy instead."
+        ),
+    )
+    parser.add_argument("--tenants", type=int, default=4, help="client sessions")
+    parser.add_argument(
+        "--requests", type=int, default=64, help="requests per tenant"
+    )
+    parser.add_argument(
+        "--policy",
+        choices=list(POLICIES),
+        default="batched",
+        help="HTAP scheduler policy",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="run seed")
+    parser.add_argument(
+        "--arrival",
+        choices=["open", "closed"],
+        default="open",
+        help="open-loop Poisson or closed-loop think-time arrivals",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=50_000.0,
+        help="open-loop arrival rate per tenant (req/s, simulated)",
+    )
+    parser.add_argument(
+        "--think-ns",
+        type=float,
+        default=20_000.0,
+        help="closed-loop mean think time (ns)",
+    )
+    parser.add_argument(
+        "--olap-fraction",
+        type=float,
+        default=0.1,
+        help="fraction of requests that are analytical queries",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=16, help="per-tenant admission bound"
+    )
+    parser.add_argument(
+        "--bucket-rate",
+        type=float,
+        default=0.0,
+        help="token-bucket rate per tenant (req/s; 0 disables)",
+    )
+    parser.add_argument(
+        "--batch-threshold", type=int, default=4, help="OLAP batch trigger depth"
+    )
+    parser.add_argument(
+        "--freshness-sla",
+        type=int,
+        default=64,
+        help="freshness policy: max committed txns of snapshot staleness",
+    )
+    parser.add_argument(
+        "--slo-oltp-ns",
+        type=float,
+        default=200_000.0,
+        help="per-transaction end-to-end latency target (ns)",
+    )
+    parser.add_argument(
+        "--slo-olap-ns",
+        type=float,
+        default=50_000_000.0,
+        help="per-query end-to-end latency target (ns)",
+    )
+    parser.add_argument("--scale", type=float, default=2e-5, help="CH-benCH scale")
+    parser.add_argument(
+        "--controller",
+        choices=["pushtap", "original"],
+        default="pushtap",
+        help="memory controller variant under test",
+    )
+    parser.add_argument(
+        "--ablation",
+        action="store_true",
+        help="run the arrival-rate x policy sweep instead of one run",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the machine-readable JSON report to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    if args.ablation:
+        report = run_policy_ablation(
+            seed=args.seed,
+            tenants=args.tenants,
+            requests_per_tenant=args.requests,
+            olap_fraction=max(args.olap_fraction, 0.05),
+            scale=args.scale,
+        )
+        print(format_table(
+            [
+                "rate/tenant", "policy", "QphH", "tpmC", "batches",
+                "handovers", "saved", "max stale",
+            ],
+            [
+                [
+                    f"{c['rate_per_tenant']:,.0f}",
+                    c["policy"],
+                    f"{c['olap_qphh']:,.0f}",
+                    f"{c['oltp_tpmc']:,.0f}",
+                    c["olap_batches"],
+                    c["handovers"],
+                    c["handovers_saved"],
+                    c["max_staleness_txns"],
+                ]
+                for c in report["cells"]
+            ],
+        ))
+        failed = any(c["slo_errors"] for c in report["cells"])
+    else:
+        config = ServeConfig(
+            tenants=args.tenants,
+            requests_per_tenant=args.requests,
+            policy=args.policy,
+            seed=args.seed,
+            arrival=args.arrival,
+            rate_per_tenant=args.rate,
+            think_ns=args.think_ns,
+            olap_fraction=args.olap_fraction,
+            queue_depth=args.queue_depth,
+            bucket_rate=args.bucket_rate,
+            batch_threshold=args.batch_threshold,
+            freshness_sla_txns=args.freshness_sla,
+            slo=SLOTargets(oltp_ns=args.slo_oltp_ns, olap_ns=args.slo_olap_ns),
+        )
+        result = run_serve(
+            config, scale=args.scale, controller_kind=args.controller
+        )
+        report = result.report
+        admission = report["admission"]
+        print(format_table(
+            [
+                "tenant", "completed", "rejected", "p50", "p95", "p99",
+                "violations", "disconnects",
+            ],
+            [
+                [
+                    tenant,
+                    t["completed"],
+                    t["rejected"],
+                    format_time_ns(t["oltp"]["p50_ns"]),
+                    format_time_ns(t["oltp"]["p95_ns"]),
+                    format_time_ns(t["oltp"]["p99_ns"]),
+                    t["violations"]["oltp"] + t["violations"]["olap"],
+                    t["disconnected"],
+                ]
+                for tenant, t in report["tenants"].items()
+            ],
+        ))
+        sched = report["scheduler"]
+        fresh = report["freshness"]
+        print(
+            f"\npolicy {sched['policy']}: {sched['oltp_dispatched']} txns, "
+            f"{sched['olap_dispatched']} queries in {sched['olap_batches']} "
+            f"batch(es); handovers {sched['handovers']} "
+            f"(saved {sched['handovers_saved']})"
+        )
+        print(
+            f"admission: {admission['admitted']}/{admission['submitted']} "
+            f"admitted, {admission['rejected']} rejected "
+            f"{admission['rejected_by_reason'] or ''}"
+        )
+        print(
+            f"freshness: max staleness {fresh['max_staleness_txns']} txns, "
+            f"mean query lag {fresh['lag_txns']['mean']:.1f} txns"
+        )
+        print(
+            f"throughput: tpmC {report['throughput']['oltp_tpmc']:,.0f}, "
+            f"QphH {report['throughput']['olap_qphh']:,.0f} over "
+            f"{format_time_ns(report['simulated_time_ns'])} simulated"
+        )
+        failed = bool(report["slo_errors"])
+        for err in report["slo_errors"]:
+            print(f"SLO ACCOUNTING ERROR: {err}", file=sys.stderr)
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nreport written to {args.out}")
+    return 1 if failed else 0
+
+
 def main(argv=None) -> int:
     """Entry point: run the named experiments (or ``all``)."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
@@ -417,6 +636,8 @@ def main(argv=None) -> int:
         return fault_sweep(argv[1:])
     if argv and argv[0] == "profile":
         return profile(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's evaluation figures.",

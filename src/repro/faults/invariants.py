@@ -84,6 +84,8 @@ class InvariantChecker:
             )
         if getattr(controller, "_offload_active", False):
             found.append("controller reports an offload active at a safe point")
+        if getattr(controller, "mode_batch_active", False):
+            found.append("controller holds a mode batch open at a safe point")
         locked = [
             unit.unit_id for unit in controller.units if unit.bank.locked
         ]

@@ -14,6 +14,7 @@ class does not perturb the schedule of another.
 
 from __future__ import annotations
 
+import hashlib
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
@@ -33,6 +34,9 @@ __all__ = [
     "FORCED_ABORT",
     "DELTA_EXHAUSTION",
     "DEFRAG_MID_QUERY",
+    "CLIENT_DISCONNECT",
+    "QUEUE_OVERFLOW",
+    "SCHEDULER_STALL",
     "FaultRates",
     "FaultPlan",
 ]
@@ -55,6 +59,12 @@ FORCED_ABORT = "forced_abort"
 DELTA_EXHAUSTION = "delta_exhaustion"
 #: Engine: defragmentation triggers in the middle of a query interval.
 DEFRAG_MID_QUERY = "defrag_mid_query"
+#: Serve: the client vanishes mid-transaction; its writes must roll back.
+CLIENT_DISCONNECT = "client_disconnect"
+#: Serve: the admission queue spuriously reports overflow (request shed).
+QUEUE_OVERFLOW = "queue_overflow"
+#: Serve: the HTAP scheduler misses its dispatch tick(s); OLAP backs up.
+SCHEDULER_STALL = "scheduler_stall"
 
 #: Every hook point threaded through the engine, in documentation order.
 HOOKS: Tuple[str, ...] = (
@@ -67,6 +77,9 @@ HOOKS: Tuple[str, ...] = (
     FORCED_ABORT,
     DELTA_EXHAUSTION,
     DEFRAG_MID_QUERY,
+    CLIENT_DISCONNECT,
+    QUEUE_OVERFLOW,
+    SCHEDULER_STALL,
 )
 
 
@@ -180,3 +193,16 @@ class FaultPlan:
         if hook not in HOOKS:
             raise ConfigError(f"unknown fault hook {hook!r}")
         return self._draws[hook]
+
+    def content_hash(self) -> str:
+        """SHA-256 over the plan's determinism surface (seed + rates).
+
+        Two plans with equal hashes replay identical fault schedules for
+        identical consultation sequences; sweep reports carry the hash so
+        a result can be traced back to the exact plan that produced it.
+        """
+        canonical = f"seed={self.seed};" + ",".join(
+            f"{hook}={self.rates.rate(hook):.17g}"
+            for hook in self.rates.active_hooks
+        )
+        return hashlib.sha256(canonical.encode("ascii")).hexdigest()

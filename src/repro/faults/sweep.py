@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.engine import PushTapEngine
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.faults.injector import FaultInjector, deactivate, install
 from repro.faults.invariants import InvariantChecker
 from repro.faults.plan import FaultPlan, FaultRates
@@ -34,6 +34,11 @@ class SweepResult:
 
     seed: int
     rates: Dict[str, float]
+    #: Which workload shape drove the engines ("mixed" or "serve").
+    workload: str = "mixed"
+    #: SHA-256 of the fault plan's determinism surface (seed + rates) —
+    #: two reports with equal hashes replayed the same fault schedule.
+    plan_hash: str = ""
     survived: bool = True
     error: Optional[str] = None
     baseline_tpmc: float = 0.0
@@ -67,6 +72,8 @@ class SweepResult:
         return {
             "seed": self.seed,
             "rates": self.rates,
+            "workload": self.workload,
+            "plan_hash": self.plan_hash,
             "survived": self.survived,
             "error": self.error,
             "baseline_tpmc": self.baseline_tpmc,
@@ -97,6 +104,69 @@ def _build_engine(
     )
 
 
+def _run_mixed(
+    seed: int,
+    intervals: int,
+    txns_per_query: int,
+    delivery_fraction: float,
+    invariant_checker: Optional[InvariantChecker],
+    engine: PushTapEngine,
+) -> Dict[str, object]:
+    report = MixedWorkload(
+        engine,
+        txns_per_query=txns_per_query,
+        seed=seed,
+        delivery_fraction=delivery_fraction,
+        invariant_checker=invariant_checker,
+    ).run(intervals)
+    return {
+        "tpmc": report.oltp_tpmc,
+        "qphh": report.olap_qphh,
+        "transactions": report.transactions,
+        "aborted": report.aborted,
+    }
+
+
+def _run_serve(
+    seed: int,
+    txns_per_query: int,
+    invariant_checker: Optional[InvariantChecker],
+    engine: PushTapEngine,
+) -> Dict[str, object]:
+    # Imported here: repro.serve sits above this module in the layering
+    # (it imports the fault plan/injector), so a top-level import would
+    # be a cycle.
+    from repro.serve.loop import ServeConfig, ServeLoop
+
+    config = ServeConfig(
+        tenants=3,
+        requests_per_tenant=max(8, txns_per_query),
+        policy="batched",
+        seed=seed,
+        arrival="open",
+        rate_per_tenant=100_000.0,
+        olap_fraction=0.2,
+        queue_depth=12,
+    )
+    result = ServeLoop(
+        engine, config, invariant_checker=invariant_checker
+    ).run()
+    throughput = result.report["throughput"]
+    aborted = sum(s["aborted"] for s in result.report["tenants"].values())
+    if result.slo_errors and invariant_checker is not None:
+        # Broken request conservation is an invariant violation of the
+        # serving layer: surface it through the same channel.
+        invariant_checker.violations.extend(
+            f"serve: {err}" for err in result.slo_errors
+        )
+    return {
+        "tpmc": throughput["oltp_tpmc"],
+        "qphh": throughput["olap_qphh"],
+        "transactions": result.report["engine"]["transactions"],
+        "aborted": aborted,
+    }
+
+
 def run_fault_sweep(
     seed: int,
     rates: FaultRates,
@@ -106,47 +176,60 @@ def run_fault_sweep(
     defrag_period: int = 200,
     controller_kind: str = "pushtap",
     delivery_fraction: float = 0.1,
+    workload: str = "mixed",
 ) -> SweepResult:
     """Run the baseline and faulted workloads; returns the comparison.
 
-    ``intervals`` query intervals of ``txns_per_query`` transactions
-    each are driven against two identically built engines. The faulted
-    run installs a :class:`FaultPlan` derived from ``seed`` and
-    ``rates`` and checks invariants after every injected fault and at
-    every interval boundary. A nonzero ``delivery_fraction`` keeps the
-    tombstone → defragmentation reconciliation path exercised.
+    With ``workload="mixed"``, ``intervals`` query intervals of
+    ``txns_per_query`` transactions each are driven against two
+    identically built engines. With ``workload="serve"``, the serving
+    loop runs instead (``txns_per_query`` becomes requests per tenant),
+    which exercises the serve-layer hooks — client disconnects, spurious
+    queue overflow, scheduler stalls — on top of the engine-level ones.
+    The faulted run installs a :class:`FaultPlan` derived from ``seed``
+    and ``rates`` and checks invariants after every injected fault and
+    at every safe-point boundary. A nonzero ``delivery_fraction`` keeps
+    the tombstone → defragmentation reconciliation path exercised.
     """
-    result = SweepResult(seed=seed, rates=dict(rates.rates))
+    if workload not in ("mixed", "serve"):
+        raise ConfigError(f"unknown sweep workload {workload!r}")
+    plan = FaultPlan(seed, rates)
+    result = SweepResult(
+        seed=seed,
+        rates=dict(rates.rates),
+        workload=workload,
+        plan_hash=plan.content_hash(),
+    )
+
+    def _drive(invariant_checker, engine):
+        if workload == "serve":
+            return _run_serve(seed, txns_per_query, invariant_checker, engine)
+        return _run_mixed(
+            seed,
+            intervals,
+            txns_per_query,
+            delivery_fraction,
+            invariant_checker,
+            engine,
+        )
 
     # Baseline: same engine, same workload seeds, no injector.
     baseline = _build_engine(seed, scale, defrag_period, controller_kind)
-    base_report = MixedWorkload(
-        baseline,
-        txns_per_query=txns_per_query,
-        seed=seed,
-        delivery_fraction=delivery_fraction,
-    ).run(intervals)
-    result.baseline_tpmc = base_report.oltp_tpmc
-    result.baseline_qphh = base_report.olap_qphh
+    base = _drive(None, baseline)
+    result.baseline_tpmc = base["tpmc"]
+    result.baseline_qphh = base["qphh"]
 
     # Faulted run: injector installed for exactly this scope.
     engine = _build_engine(seed, scale, defrag_period, controller_kind)
-    injector = FaultInjector(FaultPlan(seed, rates))
+    injector = FaultInjector(plan)
     checker = InvariantChecker(engine, raise_on_violation=False)
     install(injector)
     try:
-        workload = MixedWorkload(
-            engine,
-            txns_per_query=txns_per_query,
-            seed=seed,
-            delivery_fraction=delivery_fraction,
-            invariant_checker=checker,
-        )
-        report = workload.run(intervals)
-        result.faulted_tpmc = report.oltp_tpmc
-        result.faulted_qphh = report.olap_qphh
-        result.transactions = report.transactions
-        result.aborted = report.aborted
+        faulted = _drive(checker, engine)
+        result.faulted_tpmc = faulted["tpmc"]
+        result.faulted_qphh = faulted["qphh"]
+        result.transactions = faulted["transactions"]
+        result.aborted = faulted["aborted"]
     except ReproError as exc:
         # The engine did not absorb the faults (e.g. retry budget
         # exhausted): report the failure instead of crashing the sweep.

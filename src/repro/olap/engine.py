@@ -90,6 +90,31 @@ class OLAPEngine:
         """The PIM units of the rank holding ``table``."""
         return table.units if table.units is not None else self.units
 
+    # ------------------------------------------------------------------
+    # Mode-switch batching (serve-layer scheduler hook)
+    # ------------------------------------------------------------------
+    def begin_mode_batch(self) -> float:
+        """Switch banks into PIM mode for a batch of queries; returns ns.
+
+        Queries executed before :meth:`end_mode_batch` skip their
+        per-launch mode switches (see
+        :meth:`repro.pim.controller._ControllerBase.begin_mode_batch`).
+        """
+        cost = self.controller.begin_mode_batch()
+        tel = telemetry.active()
+        if tel.enabled and cost.total:
+            tel.record_span("pim.control", cost.total, {"kind": "mode_batch"})
+        return cost.total
+
+    def end_mode_batch(self) -> float:
+        """Close the open mode batch; returns the switch-back cost in ns."""
+        return self.controller.end_mode_batch().total
+
+    @property
+    def mode_batch_active(self) -> bool:
+        """Whether a mode batch currently holds the banks."""
+        return self.controller.mode_batch_active
+
     def _observe(
         self, operator: str, op, scan: ExecutionResult, column: str, start: float
     ) -> None:

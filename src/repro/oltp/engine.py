@@ -23,7 +23,14 @@ from repro.oltp.formats import AccessFormatModel
 from repro.pim.timing import random_line_time
 from repro.telemetry import registry as telemetry
 
-__all__ = ["CostParams", "TxnBreakdown", "TxnResult", "OLTPEngine", "TxnContext"]
+__all__ = [
+    "CostParams",
+    "TxnBreakdown",
+    "TxnResult",
+    "OLTPEngine",
+    "TxnContext",
+    "PendingTxn",
+]
 
 
 @dataclass(frozen=True)
@@ -267,6 +274,34 @@ class TxnContext:
         )
 
 
+class PendingTxn:
+    """A transaction accepted but not yet executed (serve-loop handle).
+
+    The serve event loop queues these behind admission control and steps
+    each one when the simulated server frees up; :meth:`step` executes
+    to completion exactly once and is idempotent afterwards, so a loop
+    can poll a pending handle without double-running the transaction.
+    """
+
+    __slots__ = ("engine", "txn", "result")
+
+    def __init__(self, engine: "OLTPEngine", txn: Callable[[TxnContext], None]) -> None:
+        self.engine = engine
+        self.txn = txn
+        self.result: Optional[TxnResult] = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the transaction has executed."""
+        return self.result is not None
+
+    def step(self) -> TxnResult:
+        """Execute the transaction (first call) or return its result."""
+        if self.result is None:
+            self.result = self.engine.execute(self.txn)
+        return self.result
+
+
 class OLTPEngine:
     """Executes transactions against a database under a format model."""
 
@@ -340,6 +375,15 @@ class OLTPEngine:
             tel.histogram(f"oltp.txn.{txn_name}.latency_ns").observe(result.total_time)
             tel.record_span("oltp.txn", result.total_time, {"type": txn_name})
         return result
+
+    def submit(self, txn: Callable[[TxnContext], None]) -> PendingTxn:
+        """Accept a transaction for deferred execution (non-blocking).
+
+        Nothing runs until the returned handle's :meth:`PendingTxn.step`
+        is called — the serve loop uses this to interleave queued
+        transactions with scheduled OLAP batches on one simulated clock.
+        """
+        return PendingTxn(self, txn)
 
     @property
     def mean_txn_time(self) -> float:

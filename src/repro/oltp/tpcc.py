@@ -348,12 +348,18 @@ class TPCCDriver:
         delivery_fraction: float = 0.0,
         max_order_lines: int = 15,
         delivery_batch: int = 5,
+        o_id_offset: int = 0,
+        o_id_stride: int = 1,
     ) -> None:
         if not 0.0 <= payment_fraction <= 1.0:
             raise TransactionError("payment_fraction must be in [0, 1]")
         if not 0.0 <= delivery_fraction <= 1.0 - payment_fraction:
             raise TransactionError(
                 "delivery_fraction must fit in the remaining mix share"
+            )
+        if o_id_stride < 1 or not 0 <= o_id_offset < o_id_stride:
+            raise TransactionError(
+                "o_id_offset must be in [0, o_id_stride) with stride >= 1"
             )
         self.counts = dict(counts)
         self.rng = np.random.RandomState(seed)
@@ -367,7 +373,10 @@ class TPCCDriver:
         self._recent_orders: List[DeliveryOrder] = []
         # New order ids must not collide with any preloaded order or
         # new-order key (the generator assigns 1..N in both tables).
-        self._next_o_id = max(counts["order"], counts["neworder"]) + 1
+        # Offset/stride give concurrent drivers (one per serving tenant)
+        # disjoint id spaces over the same database.
+        self._o_id_stride = o_id_stride
+        self._next_o_id = max(counts["order"], counts["neworder"]) + 1 + o_id_offset
 
     # -- key derivation matching repro.workloads.tpcc_gen ----------------
     def _random_customer(self) -> tuple:
@@ -400,7 +409,7 @@ class TPCCDriver:
         ol_cnt = int(self.rng.randint(5, self.max_order_lines + 1))
         items = sorted({self._random_item() for _ in range(ol_cnt)})
         o_id = self._next_o_id
-        self._next_o_id += 1
+        self._next_o_id += self._o_id_stride
         params = NewOrderParams(
             w_id=w,
             d_id=d,

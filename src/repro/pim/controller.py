@@ -71,6 +71,12 @@ class ControllerStats:
     polls: int = 0
     handovers: int = 0
     control_time: float = 0.0
+    #: Mode batches opened via :meth:`_ControllerBase.begin_mode_batch`.
+    mode_batches: int = 0
+    #: Per-launch bank handovers skipped because a mode batch held the
+    #: banks in PIM mode already (the amortisation the serve scheduler
+    #: exploits when it batches OLAP queries).
+    handovers_saved: int = 0
 
 
 class _ControllerBase:
@@ -116,6 +122,27 @@ class _ControllerBase:
         PUSHtap hands over per DRAM-touching launch instead, so the base
         implementation is free.
         """
+        return ControlCost(0.0, 0.0)
+
+    # ------------------------------------------------------------------
+    # Mode-switch batching (serve-layer scheduler hook)
+    # ------------------------------------------------------------------
+    #: Whether a mode batch currently holds the banks in PIM mode.
+    mode_batch_active: bool = False
+
+    def begin_mode_batch(self) -> ControlCost:
+        """Hold PIM-mode bank control open across several offloads.
+
+        The serve scheduler opens a mode batch before running a queued
+        batch of OLAP queries: the banks switch into PIM mode once, the
+        queries' DRAM-touching launches inside the batch skip the
+        per-launch handover, and :meth:`end_mode_batch` switches back.
+        The base implementation is a no-op (subclasses model the cost).
+        """
+        return ControlCost(0.0, 0.0)
+
+    def end_mode_batch(self) -> ControlCost:
+        """Close the mode batch and return bank control to the CPU."""
         return ControlCost(0.0, 0.0)
 
     def end_offload(self) -> ControlCost:
@@ -205,9 +232,33 @@ class OriginalController(_ControllerBase):
         super().__init__(config, units)
         self._offload_active = False
 
+    def begin_mode_batch(self) -> ControlCost:
+        """Open one offload window spanning several operations.
+
+        The original architecture already locks banks per offload;
+        batching maps onto holding that offload open, so consecutive
+        operations inside the batch skip their per-offload handover.
+        """
+        self.mode_batch_active = True
+        self.stats.mode_batches += 1
+        cost = self.begin_offload()
+        self._record("mode_batches", cost)
+        return cost
+
+    def end_mode_batch(self) -> ControlCost:
+        """Release the batch's offload window (and the banks)."""
+        self.mode_batch_active = False
+        return self.end_offload()
+
     def begin_offload(self) -> ControlCost:
         """Hand over bank control for the whole offload (idempotent)."""
         if self._offload_active:
+            if self.mode_batch_active:
+                # This operation's handover is absorbed by the batch.
+                self.stats.handovers_saved += 1
+                tel = telemetry.active()
+                if tel.enabled:
+                    tel.counter("pim.controller.handovers_saved").inc()
             return ControlCost(0.0, 0.0)
         self._offload_active = True
         # Handover is paid per rank, serially (0.2 us per rank, §7.1).
@@ -220,8 +271,12 @@ class OriginalController(_ControllerBase):
         return cost
 
     def end_offload(self) -> ControlCost:
-        """Return bank control to the CPU after the offload's last poll."""
-        if not self._offload_active:
+        """Return bank control to the CPU after the offload's last poll.
+
+        While a mode batch is open the banks stay handed over — the
+        batch (not the individual operation) owns the offload window.
+        """
+        if not self._offload_active or self.mode_batch_active:
             return ControlCost(0.0, 0.0)
         self._offload_active = False
         self._lock_banks(False)
@@ -297,6 +352,40 @@ class PushTapController(_ControllerBase):
         return self.poll()
 
     # ------------------------------------------------------------------
+    # Mode-switch batching (serve-layer scheduler hook)
+    # ------------------------------------------------------------------
+    def begin_mode_batch(self) -> ControlCost:
+        """Switch the banks into PIM mode once for a batch of offloads.
+
+        Inside the batch, ``LS``/``Defragment`` launches find the banks
+        already handed over and skip the per-launch mode switch — the
+        amortisation the serve scheduler's ``batched`` policy buys.
+        Idempotent while a batch is already open.
+        """
+        if self.mode_batch_active:
+            return ControlCost(0.0, 0.0)
+        self.mode_batch_active = True
+        handover = self.config.mode_switch_latency * self.num_ranks
+        self._lock_banks(True)
+        self.stats.handovers += 1
+        self.stats.mode_batches += 1
+        self.stats.control_time += handover
+        cost = ControlCost(0.0, handover)
+        self._record("mode_batches", cost)
+        tel = telemetry.active()
+        if tel.enabled:
+            tel.counter("pim.controller.handovers").inc()
+        return cost
+
+    def end_mode_batch(self) -> ControlCost:
+        """Return bank control to the CPU (free, like a normal finish)."""
+        if not self.mode_batch_active:
+            return ControlCost(0.0, 0.0)
+        self.mode_batch_active = False
+        self._lock_banks(False)
+        return ControlCost(0.0, 0.0)
+
+    # ------------------------------------------------------------------
     # Scheduler / polling module behaviour
     # ------------------------------------------------------------------
     def launch(self, request: LaunchRequest) -> ControlCost:
@@ -321,9 +410,17 @@ class PushTapController(_ControllerBase):
             return cost
         handover = 0.0
         if request.op.needs_bank_handover:
-            handover = self.config.mode_switch_latency * self.num_ranks
-            self._lock_banks(True)
-            self.stats.handovers += 1
+            if self.mode_batch_active:
+                # The open mode batch already holds the banks in PIM
+                # mode; this launch's mode switch is amortised away.
+                self.stats.handovers_saved += 1
+                tel = telemetry.active()
+                if tel.enabled:
+                    tel.counter("pim.controller.handovers_saved").inc()
+            else:
+                handover = self.config.mode_switch_latency * self.num_ranks
+                self._lock_banks(True)
+                self.stats.handovers += 1
         self._pending = request
         inj = faults.active()
         if inj.enabled and inj.fire(fault_plan.DUPLICATE_LAUNCH):
@@ -363,7 +460,7 @@ class PushTapController(_ControllerBase):
         if self._pending is None or self._pending.encode() != request.encode():
             raise ProtocolError("finish does not match the pending request")
         self._pending = None
-        if request.op.needs_bank_handover:
+        if request.op.needs_bank_handover and not self.mode_batch_active:
             self._lock_banks(False)
 
     @property

@@ -1,0 +1,31 @@
+"""repro.serve — the multi-tenant HTAP serving layer.
+
+Everything above the engine that a *server* needs: seeded client
+sessions with open/closed-loop arrivals, admission control that sheds
+load instead of stalling, the adaptive scheduler that decides when banks
+flip into PIM mode (the ``naive`` / ``batched`` / ``freshness``
+policies), and per-tenant SLO accounting over simulated end-to-end
+latency.  Entirely deterministic: one seed fixes the whole run.
+"""
+
+from repro.serve.admission import AdmissionController, Request, TokenBucket
+from repro.serve.loop import ServeConfig, ServeLoop, ServeResult
+from repro.serve.runner import run_policy_ablation, run_serve
+from repro.serve.scheduler import POLICIES, FreshnessTracker, HTAPScheduler
+from repro.serve.slo import SLOAccounting, SLOTargets
+
+__all__ = [
+    "AdmissionController",
+    "FreshnessTracker",
+    "HTAPScheduler",
+    "POLICIES",
+    "Request",
+    "run_policy_ablation",
+    "run_serve",
+    "ServeConfig",
+    "ServeLoop",
+    "ServeResult",
+    "SLOAccounting",
+    "SLOTargets",
+    "TokenBucket",
+]

@@ -159,6 +159,11 @@ def default_track(name: str, attrs: Dict[str, object]) -> str:
         return "defrag/run"
     if name.startswith("workload."):
         return "cpu/workload"
+    if name.startswith("serve."):
+        tenant = attrs.get("tenant")
+        if tenant is not None:
+            return f"serve/tenant{int(tenant):02d}"
+        return "serve/scheduler"
     return "misc/other"
 
 

@@ -8,17 +8,21 @@ so the numbers reflect the modelled system rather than the Python host.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.engine import PushTapEngine
 from repro.errors import ConfigError
 from repro.faults import injector as faults
+from repro.oltp.engine import TxnContext
 from repro.telemetry import registry as telemetry
 from repro.telemetry.metrics import Histogram
 from repro.units import S
 
-__all__ = ["WorkloadReport", "MixedWorkload"]
+__all__ = ["WorkloadReport", "MixedWorkload", "WorkloadSession"]
 
 
 @dataclass
@@ -37,6 +41,13 @@ class WorkloadReport:
     olap_time: float = 0.0
     defrag_time: float = 0.0
     query_histograms: Dict[str, Histogram] = field(default_factory=dict)
+    #: End-to-end latency of every executed transaction (ns). In batch
+    #: mode there is no queue, so end-to-end equals execution time — the
+    #: serve layer records the same metric with queue wait included,
+    #: which makes batch-mode and serve-mode latency directly comparable.
+    txn_histogram: Histogram = field(
+        default_factory=lambda: Histogram("workload.txn.latency_ns")
+    )
 
     @property
     def simulated_time(self) -> float:
@@ -89,6 +100,13 @@ class WorkloadReport:
                 f"workload.query.{name}.latency_ns"
             )
         return hist
+
+    def observe_txn(self, latency: float) -> None:
+        """Record one transaction's end-to-end latency sample (ns)."""
+        self.txn_histogram.observe(latency)
+        tel = telemetry.active()
+        if tel.enabled:
+            tel.histogram("workload.txn.latency_ns").observe(latency)
 
     def mean_query_latency(self, name: str) -> float:
         """Average simulated latency of one query type."""
@@ -163,6 +181,7 @@ class MixedWorkload:
                     report.aborted += 1
                     self.driver.note_abort(txn)
                 report.oltp_time += result.total_time
+                report.observe_txn(result.total_time)
                 self._maybe_check()
             name = self.queries[self._query_cursor % len(self.queries)]
             self._query_cursor += 1
@@ -187,3 +206,67 @@ class MixedWorkload:
             tel.gauge("workload.oltp_tpmc").set(report.oltp_tpmc)
             tel.gauge("workload.olap_qphh").set(report.olap_qphh)
         return report
+
+
+def _derive_seed(seed: int, label: str) -> int:
+    """Per-label RNG seed (CRC-32 derivation, the tpcc_gen idiom)."""
+    return (int(seed) ^ zlib.crc32(label.encode("ascii"))) & 0x7FFF_FFFF
+
+
+class WorkloadSession:
+    """Per-client request generation for the serve layer.
+
+    One session owns a seeded :class:`~repro.oltp.tpcc.TPCCDriver` plus
+    an independent request-kind stream, so N concurrent tenants draw
+    from N decoupled random streams: adding a tenant (or reordering
+    service) never perturbs another tenant's request sequence. Requests
+    are ``("oltp", txn_closure)`` or ``("olap", query_name)`` pairs.
+    """
+
+    def __init__(
+        self,
+        engine: PushTapEngine,
+        tenant: int,
+        num_tenants: int = 1,
+        seed: int = 11,
+        olap_fraction: float = 0.05,
+        queries: Sequence[str] = ("Q1", "Q6", "Q9"),
+        payment_fraction: float = 0.5,
+        delivery_fraction: float = 0.0,
+    ) -> None:
+        if not 0.0 <= olap_fraction <= 1.0:
+            raise ConfigError("olap_fraction must be in [0, 1]")
+        if not 0 <= tenant < num_tenants:
+            raise ConfigError("tenant index must be in [0, num_tenants)")
+        if not queries:
+            raise ConfigError("at least one analytical query is required")
+        self.tenant = int(tenant)
+        self.olap_fraction = olap_fraction
+        self.queries = list(queries)
+        # Striding the order-id space keeps N drivers over one database
+        # from ever colliding on an order key.
+        self.driver = engine.make_driver(
+            seed=_derive_seed(seed, f"tenant{tenant}.workload"),
+            payment_fraction=payment_fraction,
+            delivery_fraction=delivery_fraction,
+            o_id_offset=int(tenant),
+            o_id_stride=int(num_tenants),
+        )
+        self._kind_rng = np.random.RandomState(
+            _derive_seed(seed, f"tenant{tenant}.kind")
+        )
+        self._query_cursor = 0
+        self.generated = 0
+
+    def next_request(self) -> Tuple[str, object]:
+        """The session's next request: kind plus its payload."""
+        self.generated += 1
+        if self._kind_rng.random_sample() < self.olap_fraction:
+            name = self.queries[self._query_cursor % len(self.queries)]
+            self._query_cursor += 1
+            return ("olap", name)
+        return ("oltp", self.driver.next_transaction())
+
+    def note_abort(self, txn: Callable[[TxnContext], None]) -> None:
+        """Forward an abort to the TPC-C driver's bookkeeping."""
+        self.driver.note_abort(txn)

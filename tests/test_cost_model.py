@@ -56,6 +56,18 @@ class TestScanCost:
     def test_unit_bandwidth_is_the_cap(self):
         assert scan_bandwidth_per_unit(dimm_system()) == pytest.approx(1.0)
 
+    def test_doubling_channels_halves_scan_cost(self):
+        """Twice the channels means twice the PIM units, so a long scan's
+        estimated cost halves — within tolerance, since per-phase control
+        costs (launch/poll, handover) do not shrink with parallelism."""
+        rows = 50_000_000
+        base = column_scan_cost(dimm_system(), rows, 4)
+        doubled = column_scan_cost(dimm_system(channels=8), rows, 4)
+        assert doubled.total_time == pytest.approx(base.total_time / 2, rel=0.1)
+        # The bandwidth-bound term halves exactly.
+        assert doubled.load_time == pytest.approx(base.load_time / 2)
+        assert doubled.bytes_streamed == base.bytes_streamed
+
     def test_validation(self):
         with pytest.raises(QueryError):
             column_scan_cost(dimm_system(), 0, 4)

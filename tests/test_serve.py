@@ -1,0 +1,402 @@
+"""The serving layer: sessions, admission, scheduler, SLOs, determinism."""
+
+import json
+
+import pytest
+
+from repro.core.engine import PushTapEngine
+from repro.errors import ConfigError
+from repro.faults import injector as faults
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    CLIENT_DISCONNECT,
+    QUEUE_OVERFLOW,
+    SCHEDULER_STALL,
+    FaultPlan,
+    FaultRates,
+)
+from repro.faults.sweep import run_fault_sweep
+from repro.serve.admission import AdmissionController, Request, TokenBucket
+from repro.serve.loop import ServeConfig, ServeLoop
+from repro.serve.runner import run_policy_ablation, run_serve
+from repro.serve.scheduler import HTAPScheduler
+from repro.serve.slo import SLOAccounting, SLOTargets
+from repro.units import S
+from repro.workloads.driver import WorkloadSession
+
+from tests.conftest import ENGINE_KWARGS
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    """Every test starts and ends with the no-op injector installed."""
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+def small_config(**overrides):
+    base = dict(
+        tenants=2,
+        requests_per_tenant=16,
+        policy="batched",
+        seed=7,
+        olap_fraction=0.2,
+    )
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+# ---------------------------------------------------------------------------
+# Sessions
+# ---------------------------------------------------------------------------
+class TestWorkloadSession:
+    def test_disjoint_order_ids(self, fresh_engine):
+        """Two tenants' drivers must never collide on an order key —
+        interleaved New-Orders from both sessions all commit."""
+        sessions = [
+            WorkloadSession(
+                fresh_engine, tenant=t, num_tenants=2, olap_fraction=0.0
+            )
+            for t in range(2)
+        ]
+        for _ in range(15):
+            for session in sessions:
+                kind, txn = session.next_request()
+                assert kind == "oltp"
+                result = fresh_engine.execute_transaction(txn)
+                assert not result.aborted
+
+    def test_streams_are_decoupled(self, loaded_engine):
+        """Tenant 0's request sequence is identical whether or not
+        tenant 1 exists (independent derived RNG streams)."""
+
+        def kinds(num_tenants):
+            session = WorkloadSession(
+                loaded_engine,
+                tenant=0,
+                num_tenants=num_tenants,
+                olap_fraction=0.3,
+            )
+            return [session.next_request()[0] for _ in range(30)]
+
+        assert kinds(1) == kinds(3)
+
+    def test_validation(self, loaded_engine):
+        with pytest.raises(ConfigError):
+            WorkloadSession(loaded_engine, tenant=0, olap_fraction=1.5)
+        with pytest.raises(ConfigError):
+            WorkloadSession(loaded_engine, tenant=2, num_tenants=2)
+        with pytest.raises(ConfigError):
+            WorkloadSession(loaded_engine, tenant=0, queries=())
+
+
+# ---------------------------------------------------------------------------
+# Admission control
+# ---------------------------------------------------------------------------
+class TestAdmission:
+    @staticmethod
+    def request(seq, tenant=0):
+        return Request(seq=seq, tenant=tenant, kind="oltp", payload=None,
+                       submitted_at=0.0)
+
+    def test_bounded_queue_sheds(self):
+        admission = AdmissionController(1, queue_depth=3)
+        admitted = [admission.submit(self.request(i), 0.0) for i in range(5)]
+        assert admitted == [True, True, True, False, False]
+        stats = admission.stats
+        assert stats.submitted == 5
+        assert stats.admitted == 3
+        assert stats.rejected_by_reason == {"queue_full": 2}
+        # Completion frees a slot.
+        admission.release(0)
+        assert admission.submit(self.request(5), 0.0)
+
+    def test_token_bucket_rate_limits(self):
+        # 2 req/s sustained with a 2-token burst: the 3rd instant
+        # request is shed, but half a second refills one token.
+        bucket = TokenBucket(rate=2.0, capacity=2.0)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+        assert bucket.try_take(0.5 * S)
+
+    def test_release_without_admission_raises(self):
+        admission = AdmissionController(1)
+        with pytest.raises(ConfigError):
+            admission.release(0)
+
+    def test_queue_overflow_fault_sheds_spuriously(self):
+        faults.install(
+            FaultInjector(FaultPlan(1, FaultRates({QUEUE_OVERFLOW: 1.0})))
+        )
+        admission = AdmissionController(1, queue_depth=100)
+        assert not admission.submit(self.request(0), 0.0)
+        assert admission.stats.rejected_by_reason == {"spurious_overflow": 1}
+        assert faults.active().detected[QUEUE_OVERFLOW] == 1
+
+
+# ---------------------------------------------------------------------------
+# SLO accounting
+# ---------------------------------------------------------------------------
+class TestSLOAccounting:
+    def test_quantiles_and_violations(self):
+        slo = SLOAccounting(1, SLOTargets(oltp_ns=100.0, olap_ns=1000.0))
+        for latency in (50.0, 150.0, 250.0):
+            slo.on_submit(0)
+            slo.on_complete(0, "oltp", latency, wait_ns=10.0)
+        tenant = slo.tenants[0]
+        assert tenant.violations["oltp"] == 2
+        assert tenant.oltp_latency.p50 == pytest.approx(150.0)
+        assert slo.errors() == []
+
+    def test_conservation_catches_lost_request(self):
+        slo = SLOAccounting(1, SLOTargets())
+        slo.on_submit(0)
+        assert slo.errors()  # admitted but never completed
+        slo.on_complete(0, "oltp", 1.0, 0.0)
+        assert slo.errors() == []
+        assert slo.errors(residual_queued=1)
+
+    def test_disconnects_balance_without_latency(self):
+        slo = SLOAccounting(1, SLOTargets())
+        slo.on_submit(0)
+        slo.on_disconnect(0)
+        assert slo.errors() == []
+        assert slo.tenants[0].oltp_latency.count == 0
+
+
+# ---------------------------------------------------------------------------
+# End-to-end serve runs
+# ---------------------------------------------------------------------------
+class TestServeLoop:
+    def test_deterministic_report(self):
+        """The acceptance bar: identical config => byte-identical report."""
+        r1 = run_serve(small_config())
+        r2 = run_serve(small_config())
+        assert json.dumps(r1.report, sort_keys=True) == json.dumps(
+            r2.report, sort_keys=True
+        )
+        assert r1.slo_errors == []
+        assert r1.requests == 2 * 16
+
+    def test_every_request_accounted(self):
+        result = run_serve(small_config(tenants=3, requests_per_tenant=20))
+        report = result.report
+        admission = report["admission"]
+        assert admission["submitted"] == 60
+        assert admission["admitted"] + admission["rejected"] == 60
+        completed = sum(
+            t["completed"] for t in report["tenants"].values()
+        )
+        assert completed + result.disconnects == admission["admitted"]
+        assert report["slo_errors"] == []
+
+    def test_saturation_sheds_load(self):
+        """An open-loop rate far beyond service capacity must trigger
+        rejections (bounded queues), never stalls or lost requests."""
+        result = run_serve(
+            small_config(rate_per_tenant=500_000.0, queue_depth=4)
+        )
+        assert result.report["admission"]["rejected"] > 0
+        assert result.slo_errors == []
+
+    def test_closed_loop_never_sheds_on_queue(self):
+        """A closed-loop client keeps <=1 outstanding request, so the
+        per-tenant bound can never fill."""
+        result = run_serve(small_config(arrival="closed", queue_depth=2))
+        assert result.report["admission"]["rejected"] == 0
+        assert result.slo_errors == []
+
+    def test_naive_policy_runs_and_accounts(self):
+        result = run_serve(small_config(policy="naive"))
+        assert result.slo_errors == []
+        sched = result.report["scheduler"]
+        assert sched["olap_batches"] == sched["olap_dispatched"]
+        assert sched["handovers_saved"] == 0
+
+    def test_freshness_policy_bounds_staleness(self):
+        """With a tight staleness SLA the freshness policy flushes long
+        before the batch threshold; observed staleness stays near the
+        SLA rather than growing with the queue."""
+        sla = 10
+        result = run_serve(
+            small_config(
+                policy="freshness",
+                requests_per_tenant=40,
+                rate_per_tenant=20_000.0,
+                freshness_sla_txns=sla,
+                batch_threshold=1_000,
+                max_wait_ns=1e12,
+                olap_fraction=0.3,
+            )
+        )
+        fresh = result.report["freshness"]
+        assert result.slo_errors == []
+        assert result.report["scheduler"]["olap_batches"] >= 2
+        # Staleness may overshoot by the transactions that were already
+        # queued ahead of the flush decision, but not unboundedly.
+        assert fresh["max_staleness_txns"] <= 5 * sla
+
+    def test_slo_targets_flag_violations(self):
+        result = run_serve(
+            small_config(slo=SLOTargets(oltp_ns=1.0, olap_ns=1.0))
+        )
+        violations = sum(
+            t["violations"]["oltp"] + t["violations"]["olap"]
+            for t in result.report["tenants"].values()
+        )
+        completed = sum(
+            t["completed"] for t in result.report["tenants"].values()
+        )
+        assert violations == completed  # 1 ns is unmeetable
+
+
+# ---------------------------------------------------------------------------
+# Scheduler policy ablation (the batching advantage)
+# ---------------------------------------------------------------------------
+class TestPolicyAblation:
+    def test_batched_amortises_handover_on_identical_state(self):
+        """The controlled comparison: same engine state, same queries —
+        a batch pays one mode switch where switch-per-query pays a
+        handover per LS launch. The saved handovers ARE the time gap."""
+        queries = ["Q1", "Q6", "Q1", "Q6"]
+        naive_engine = PushTapEngine.build(**ENGINE_KWARGS)
+        naive_time = sum(
+            naive_engine.query(q).total_time for q in queries
+        )
+        batch_engine = PushTapEngine.build(**ENGINE_KWARGS)
+        batch = batch_engine.query_batch(queries)
+        assert batch_engine.controller.stats.handovers_saved > 0
+        saved = (
+            naive_engine.controller.stats.handovers
+            - batch_engine.controller.stats.handovers
+        )
+        assert saved > 0
+        handover_ns = (
+            batch_engine.config.mode_switch_latency
+            * batch_engine.controller.num_ranks
+        )
+        assert naive_time - batch.total_time == pytest.approx(
+            saved * handover_ns
+        )
+
+    def test_ablation_batched_beats_naive_at_high_rate(self):
+        report = run_policy_ablation(
+            seed=7,
+            tenants=2,
+            requests_per_tenant=24,
+            rates=(200_000.0,),
+            policies=("naive", "batched"),
+            olap_fraction=0.3,
+        )
+        by_policy = {c["policy"]: c for c in report["cells"]}
+        naive, batched = by_policy["naive"], by_policy["batched"]
+        assert batched["olap_qphh"] >= naive["olap_qphh"]
+        # The telemetry counters explain the gap: what naive paid in
+        # per-launch handovers, batched saved.
+        assert batched["handovers_saved"] > 0
+        assert naive["handovers"] > batched["handovers"]
+        assert naive["handovers_saved"] == 0
+        for cell in report["cells"]:
+            assert cell["slo_errors"] == []
+
+
+# ---------------------------------------------------------------------------
+# Serve-layer fault hooks under the sweep harness
+# ---------------------------------------------------------------------------
+class TestServeFaults:
+    def test_client_disconnect_rolls_back(self):
+        faults.install(
+            FaultInjector(FaultPlan(5, FaultRates({CLIENT_DISCONNECT: 0.3})))
+        )
+        engine = PushTapEngine.build(**ENGINE_KWARGS)
+        loop = ServeLoop(engine, small_config(olap_fraction=0.0))
+        result = loop.run()
+        assert result.disconnects > 0
+        assert result.slo_errors == []
+        # Disconnected transactions aborted: committed < executed.
+        disconnects = sum(
+            t["disconnected"] for t in result.report["tenants"].values()
+        )
+        assert disconnects == result.disconnects
+
+    def test_scheduler_stall_delays_but_drains(self):
+        faults.install(
+            FaultInjector(FaultPlan(5, FaultRates({SCHEDULER_STALL: 0.5})))
+        )
+        result = ServeLoop(
+            PushTapEngine.build(**ENGINE_KWARGS),
+            small_config(olap_fraction=0.4),
+        ).run()
+        sched = result.report["scheduler"]
+        assert sched["stalls"] > 0
+        assert result.slo_errors == []
+        # Every admitted query was eventually dispatched.
+        completed_olap = sum(
+            t["olap"]["count"] for t in result.report["tenants"].values()
+        )
+        assert completed_olap == sched["olap_dispatched"]
+
+    def test_serve_sweep_survives_all_three_hooks(self):
+        rates = FaultRates(
+            {CLIENT_DISCONNECT: 0.05, QUEUE_OVERFLOW: 0.05, SCHEDULER_STALL: 0.1}
+        )
+        result = run_fault_sweep(
+            3, rates, txns_per_query=16, workload="serve"
+        )
+        assert result.survived
+        assert result.violations == []
+        assert result.workload == "serve"
+        assert set(result.injected) <= {
+            CLIENT_DISCONNECT, QUEUE_OVERFLOW, SCHEDULER_STALL,
+        }
+        assert result.injected  # at least one hook actually fired
+        assert result.injected == result.detected
+        assert result.checks > 0
+
+    def test_sweep_report_carries_seed_and_plan_hash(self):
+        rates = FaultRates({CLIENT_DISCONNECT: 0.05})
+        result = run_fault_sweep(9, rates, txns_per_query=8, workload="serve")
+        payload = result.as_dict()
+        assert payload["seed"] == 9
+        assert payload["plan_hash"] == FaultPlan(9, rates).content_hash()
+        assert len(payload["plan_hash"]) == 64
+        # The hash pins the determinism surface: same seed+rates agree,
+        # different seeds differ.
+        assert FaultPlan(9, rates).content_hash() != FaultPlan(
+            10, rates
+        ).content_hash()
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+class TestServeCLI:
+    def test_serve_subcommand_writes_report(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        out = tmp_path / "serve.json"
+        rc = main([
+            "serve", "--tenants", "2", "--requests", "12",
+            "--policy", "batched", "--seed", "7", "--out", str(out),
+        ])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["slo_errors"] == []
+        assert report["config"]["policy"] == "batched"
+        assert set(report["tenants"]) == {"0", "1"}
+        for tenant in report["tenants"].values():
+            assert {"p50_ns", "p95_ns", "p99_ns"} <= set(tenant["oltp"])
+        stdout = capsys.readouterr().out
+        assert "policy batched" in stdout
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            ServeConfig(tenants=0)
+        with pytest.raises(ConfigError):
+            ServeConfig(arrival="sideways")
+        with pytest.raises(ConfigError):
+            ServeConfig(arrival="open", rate_per_tenant=0.0)
+        with pytest.raises(ConfigError):
+            HTAPScheduler(None, 1, policy="wishful")

@@ -384,20 +384,28 @@ class TestRunProfile:
 
 
 class TestProfileCLI:
-    def test_profile_writes_artifacts(self, tmp_path, capsys):
+    def test_profile_writes_artifacts(self, tmp_path, capsys, monkeypatch):
         from repro.experiments.__main__ import main
 
+        # Run from a different directory than --out-dir: every artifact
+        # (including BENCH_<tag>.json) must land in --out-dir, and none
+        # may leak into the working directory.
+        cwd = tmp_path / "cwd"
+        out_dir = tmp_path / "out"
+        cwd.mkdir()
+        monkeypatch.chdir(cwd)
         rc = main([
             "profile", "--workload", "mixed", "--intervals", "1",
             "--txns-per-query", "5", "--seed", "5",
-            "--out-dir", str(tmp_path), "--tag", "t",
+            "--out-dir", str(out_dir), "--tag", "t",
         ])
         assert rc in (0, None)
-        trace = json.loads((tmp_path / "trace.json").read_text())
+        trace = json.loads((out_dir / "trace.json").read_text())
         assert trace["traceEvents"]
-        bench = json.loads((tmp_path / "BENCH_t.json").read_text())
+        bench = json.loads((out_dir / "BENCH_t.json").read_text())
         assert bench["tag"] == "t"
-        assert (tmp_path / "flame.folded").read_text().strip()
+        assert (out_dir / "flame.folded").read_text().strip()
+        assert list(cwd.iterdir()) == []
         out = capsys.readouterr().out
         assert "bottlenecks" in out
         assert "trace.json" in out
