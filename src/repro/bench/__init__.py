@@ -1,0 +1,31 @@
+"""Bench-regression harness: same simulation, faster host.
+
+``repro.bench`` reruns the standard profile workloads twice — once on the
+naive reference paths, once vectorized — asserts that every *simulated*
+metric (counters, span totals, QphH/tpmC, critical path) is bit-identical
+between the two modes and against a committed ``BENCH_<tag>.json``
+baseline, and measures the host-side wall-clock speedup the vectorized
+paths deliver. See ``python -m repro.experiments bench``.
+"""
+
+from repro.bench.harness import (
+    SIM_SECTIONS,
+    BenchResult,
+    HotPath,
+    WorkloadRun,
+    diff_sections,
+    micro_benchmarks,
+    run_bench,
+    simulated_sections,
+)
+
+__all__ = [
+    "SIM_SECTIONS",
+    "BenchResult",
+    "HotPath",
+    "WorkloadRun",
+    "diff_sections",
+    "micro_benchmarks",
+    "run_bench",
+    "simulated_sections",
+]

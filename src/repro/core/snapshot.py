@@ -157,8 +157,9 @@ class SnapshotManager:
         """
         self._data_bits[:] = False
         self._data_bits[:live_rows] = True
-        for row in tombstoned:
-            self._data_bits[row] = False
+        tombstoned = np.asarray(list(tombstoned), dtype=np.intp)
+        if tombstoned.size:
+            self._data_bits[tombstoned] = False
         self._delta_bits[:] = False
         self.last_snapshot_ts = ts
         self._flush()

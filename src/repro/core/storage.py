@@ -26,6 +26,7 @@ from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from repro import perf
 from repro.errors import LayoutError, MemoryError_
 from repro.format.circulant import BlockCirculantPlacement
 from repro.format.layout import UnifiedLayout
@@ -256,6 +257,37 @@ class TableStorage:
             out[name] = col.decode(raw)
         return out
 
+    def write_columns(self, ref: RowRef, values: Dict[str, Value]) -> None:
+        """Encode and store just ``values``'s columns of the row at ``ref``.
+
+        The update fast path: the row's other bytes (including zeroed
+        padding) are already in place — typically via :meth:`copy_row`
+        from the previous version — so only the changed columns' byte
+        runs move. Values are encoded in schema declaration order, the
+        same order :meth:`~repro.format.layout.UnifiedLayout.pack_row`
+        validates them, so encode errors surface identically to a full
+        :meth:`write_row`.
+        """
+        encoded = {
+            col.name: col.encode(values[col.name])
+            for col in self.layout.schema
+            if col.name in values
+        }
+        num_devices = self.rank.num_devices
+        rotation = self.rotation_of(ref.region, ref.index)
+        for name, raw in encoded.items():
+            for run in self.layout.column_runs(name):
+                p = run.placement
+                addr = self.row_addr(ref.region, run.part_index, ref.index)
+                device = (run.slot_index + rotation) % num_devices
+                self.rank.device_write(
+                    device,
+                    addr + p.slot_offset,
+                    np.frombuffer(raw, dtype=np.uint8)[
+                        p.col_offset : p.col_offset + p.length
+                    ],
+                )
+
     def copy_row(self, src: RowRef, dst: RowRef) -> None:
         """Copy a row's bytes between refs **of the same rotation**.
 
@@ -324,6 +356,54 @@ class TableStorage:
         through the CPU at reduced efficiency); PIM scans use
         :meth:`column_scan_plan` instead.
         """
+        if not perf.vectorized():
+            return self._read_column_values_reference(region, column, num_rows)
+        col = self.layout.schema.column(column)
+        runs = self.layout.column_runs(column)
+        capacity = self._region_capacity(region)
+        if num_rows > capacity:
+            raise MemoryError_(
+                f"{region} row {capacity} out of range [0, {capacity})"
+            )
+        if num_rows <= 0:
+            return []
+        # Gather block-at-a-time: within a block the rotation (hence the
+        # device per run) is fixed, so each run is one strided 2-D fancy
+        # index into that device's flat byte array.
+        raw = np.zeros((num_rows, col.width), dtype=np.uint8)
+        num_devices = self.rank.num_devices
+        for run in runs:
+            p = run.placement
+            part = self.layout.parts[run.part_index]
+            blocks = self._region_blocks(region, run.part_index)
+            lanes = np.arange(p.length, dtype=np.intp)[None, :]
+            for block_index in range(ceil_div(num_rows, self.block_rows)):
+                base_row = block_index * self.block_rows
+                rows = min(self.block_rows, num_rows - base_row)
+                rotation = self.placement.rotation_of_block(block_index)
+                device = (run.slot_index + rotation) % num_devices
+                base = blocks[block_index] + p.slot_offset
+                addrs = (
+                    base
+                    + np.arange(rows, dtype=np.intp)[:, None] * part.row_width
+                    + lanes
+                )
+                raw[
+                    base_row : base_row + rows,
+                    p.col_offset : p.col_offset + p.length,
+                ] = self.rank.devices[device].data[addrs]
+        if col.kind == "int":
+            padded = np.zeros((num_rows, 8), dtype=np.uint8)
+            padded[:, : col.width] = raw
+            return padded.view("<u8").ravel().tolist()
+        flat = raw.tobytes()
+        width = col.width
+        return [flat[i * width : (i + 1) * width] for i in range(num_rows)]
+
+    def _read_column_values_reference(
+        self, region: str, column: str, num_rows: int
+    ) -> List:
+        """Naive row-at-a-time gather (kept for equivalence testing)."""
         col = self.layout.schema.column(column)
         runs = self.layout.column_runs(column)
         num_devices = self.rank.num_devices

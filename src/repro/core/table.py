@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Sequence
 
+from repro import perf
 from repro.core.snapshot import SnapshotManager
 from repro.core.storage import TableStorage
 from repro.errors import TransactionError
@@ -67,14 +68,33 @@ class TableRuntime:
         return self.storage.read_row(self.mvcc.read(row_id, ts), columns)
 
     def update_row(self, row_id: int, ts: int, changes: Dict[str, Value]) -> RowRef:
-        """Install a new version of ``row_id`` with ``changes`` applied."""
-        current = self.storage.read_row(self.mvcc.newest_ref(row_id))
+        """Install a new version of ``row_id`` with ``changes`` applied.
+
+        The vectorized fast path copies the newest version's raw bytes to
+        the new delta row (same rotation by construction) and rewrites
+        only the changed columns' byte runs — bit-identical device bytes
+        to the naive decode-merge-reencode, since padding is already
+        zeroed and unchanged columns round-trip exactly. Failure ordering
+        matches the naive path: unknown columns raise before the MVCC
+        install, encode errors after it.
+        """
+        if not perf.vectorized():
+            current = self.storage.read_row(self.mvcc.newest_ref(row_id))
+            unknown = [c for c in changes if not self.schema.has_column(c)]
+            if unknown:
+                raise TransactionError(f"table {self.name!r} has no columns {unknown}")
+            current.update(changes)
+            ref = self.mvcc.update(row_id, ts)
+            self.storage.write_row(ref, current)
+            return ref
+        src = self.mvcc.newest_ref(row_id)
         unknown = [c for c in changes if not self.schema.has_column(c)]
         if unknown:
             raise TransactionError(f"table {self.name!r} has no columns {unknown}")
-        current.update(changes)
         ref = self.mvcc.update(row_id, ts)
-        self.storage.write_row(ref, current)
+        if ref != src:
+            self.storage.copy_row(src, ref)
+        self.storage.write_columns(ref, changes)
         return ref
 
     def insert_row(self, ts: int, values: Dict[str, Value]) -> int:

@@ -322,6 +322,165 @@ def profile(argv) -> int:
     return 0
 
 
+def bench(argv) -> int:
+    """``bench``: the perf-regression harness (naive vs. vectorized)."""
+    import json
+    import os
+
+    from repro.bench import run_bench
+    from repro.bench.harness import span_before_after
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments bench",
+        description=(
+            "Rerun the standard profile workloads on both host execution "
+            "modes (naive reference and vectorized), assert the simulated "
+            "metrics are bit-identical to each other and to the committed "
+            "baseline snapshot, measure the wall-clock speedup, and write "
+            "a BENCH_<tag>.json comparison snapshot."
+        ),
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        choices=["tpcc", "ch", "mixed"],
+        default=["mixed", "ch"],
+        help="workloads to rerun in both modes",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_3.json",
+        help="committed baseline snapshot to diff simulated metrics against",
+    )
+    parser.add_argument("--tag", default="5", help="writes BENCH_<tag>.json")
+    parser.add_argument(
+        "--intervals", type=int, default=6, help="query intervals (or query count)"
+    )
+    parser.add_argument(
+        "--txns-per-query", type=int, default=30, help="transactions per interval"
+    )
+    parser.add_argument("--scale", type=float, default=2e-5, help="CH-benCH scale")
+    parser.add_argument("--seed", type=int, default=11, help="workload seed")
+    parser.add_argument(
+        "--defrag-period", type=int, default=200, help="transactions between defrags"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help=(
+            "required naive/vectorized wall-clock ratio on the scan "
+            "workloads (0 disables the gate, e.g. for noisy CI hosts)"
+        ),
+    )
+    parser.add_argument(
+        "--no-micro",
+        action="store_true",
+        help="skip the per-hot-path micro-benchmarks",
+    )
+    parser.add_argument(
+        "--out-dir", default=".", help="directory for the BENCH_<tag>.json snapshot"
+    )
+    args = parser.parse_args(argv)
+
+    result = run_bench(
+        workloads=args.workloads,
+        baseline_path=args.baseline or None,
+        tag=args.tag,
+        intervals=args.intervals,
+        txns_per_query=args.txns_per_query,
+        scale=args.scale,
+        seed=args.seed,
+        defrag_period=args.defrag_period,
+        min_speedup=args.min_speedup,
+        micro=not args.no_micro,
+    )
+
+    print(format_table(
+        ["workload", "simulated time", "txns", "queries", "naive run", "vec run", "speedup", "identical"],
+        [
+            [
+                run.workload,
+                format_time_ns(run.bench["simulated"]["time_ns"]),
+                run.bench["simulated"]["transactions"],
+                run.bench["simulated"]["queries"],
+                f"{float(run.naive_wall['run_s']):.3f}s",
+                f"{float(run.bench['wall_clock']['run_s']):.3f}s",
+                f"{run.speedup:.2f}x",
+                "yes" if not run.mode_drift else "NO",
+            ]
+            for run in result.runs
+        ],
+    ))
+
+    if result.hot_paths:
+        print("\nhot paths (host wall-clock, naive -> vectorized):")
+        print(format_table(
+            ["hot path", "naive", "vectorized", "speedup"],
+            [
+                [
+                    p.name,
+                    f"{p.naive_s * 1e3:.2f}ms",
+                    f"{p.vectorized_s * 1e3:.2f}ms",
+                    f"{p.speedup:.1f}x",
+                ]
+                for p in result.hot_paths
+            ],
+        ))
+
+    for run in result.runs:
+        for drift in run.mode_drift:
+            print(f"MODE DRIFT [{run.workload}]: {drift}", file=sys.stderr)
+    if result.baseline_compared:
+        baseline_run = next(
+            run for run in result.runs if run.workload == result.baseline_workload
+        )
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        rows = span_before_after(baseline, baseline_run.bench)
+        print(
+            f"\nper-span simulated self-time vs {args.baseline} "
+            f"(tag {result.baseline_tag}, workload {result.baseline_workload}):"
+        )
+        print(format_table(
+            ["span", "baseline self", "current self", "drift"],
+            [
+                [
+                    name,
+                    format_time_ns(before),
+                    format_time_ns(after),
+                    "none" if before == after else f"{after - before:+.3f}ns",
+                ]
+                for name, before, after in rows
+            ],
+        ))
+        for drift in result.baseline_drift:
+            print(f"BASELINE DRIFT: {drift}", file=sys.stderr)
+    elif args.baseline:
+        print(
+            f"\nbaseline {args.baseline} not compared (different params or "
+            "workload set; the naive-vs-vectorized equivalence gate still ran)"
+        )
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    out_path = os.path.join(args.out_dir, f"BENCH_{args.tag}.json")
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(result.snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nbench snapshot written to {out_path}")
+
+    if not result.simulated_identical:
+        print("FAIL: simulated metrics differ between modes", file=sys.stderr)
+    if result.baseline_drift:
+        print("FAIL: simulated metrics drifted from the baseline", file=sys.stderr)
+    if not result.speedup_ok:
+        print(
+            f"FAIL: scan-workload speedup below {result.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+    return 0 if result.passed else 1
+
+
 def fault_sweep(argv) -> int:
     """``fault-sweep``: run the workload under injected control faults."""
     from repro.faults.plan import FaultRates
@@ -636,6 +795,8 @@ def main(argv=None) -> int:
         return fault_sweep(argv[1:])
     if argv and argv[0] == "profile":
         return profile(argv[1:])
+    if argv and argv[0] == "bench":
+        return bench(argv[1:])
     if argv and argv[0] == "serve":
         return serve(argv[1:])
     parser = argparse.ArgumentParser(

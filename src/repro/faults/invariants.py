@@ -226,6 +226,24 @@ class InvariantChecker:
                 f"{name}: delta bitmap disagrees with log rebuild in {diff} bit(s)"
             )
 
+        # Independent cross-check: the MVCC packed visibility index must
+        # describe the same snapshot the incremental log replay maintains.
+        idx_data, idx_delta = mvcc.visible_refs_at(
+            snap.last_snapshot_ts, len(snap._delta_bits)
+        )
+        if not np.array_equal(idx_data, snap._data_bits):
+            diff = int(np.sum(idx_data != snap._data_bits))
+            found.append(
+                f"{name}: data bitmap disagrees with the packed visibility "
+                f"index in {diff} bit(s)"
+            )
+        if not np.array_equal(idx_delta, snap._delta_bits):
+            diff = int(np.sum(idx_delta != snap._delta_bits))
+            found.append(
+                f"{name}: delta bitmap disagrees with the packed visibility "
+                f"index in {diff} bit(s)"
+            )
+
         # The per-device packed copy in simulated DRAM must mirror the
         # in-memory bitmap (every device holds the same copy; device 0
         # stands in for all of them).

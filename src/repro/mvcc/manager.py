@@ -5,6 +5,15 @@ updated rows (rows never updated implicitly have their original version in
 the data region), appends inserts at the data-region cursor, and keeps an
 ordered *update log* that snapshotting (§5.2) replays incrementally.
 
+Reads resolve through a **packed visibility index** — per-table NumPy
+arrays of (head begin-ts, head location, chain length, tombstone ts)
+maintained incrementally on every write — so the hot path answers
+"which version is visible at ts?" with O(1) array lookups and only
+falls back to walking a :class:`~repro.mvcc.metadata.VersionChain` for
+the rare read of a superseded version. The naive walk is retained as
+:meth:`MVCCManager._read_reference` (and selected by
+:func:`repro.perf.vectorized` being off) so equivalence stays testable.
+
 Byte movement is **not** done here — the manager deals in
 :class:`~repro.mvcc.metadata.RowRef` locations; the storage engine binds
 refs to device addresses.
@@ -12,9 +21,13 @@ refs to device addresses.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+import numpy as np
+
+from repro import perf
 from repro.errors import TransactionError
 from repro.mvcc.metadata import Region, RowRef, VersionChain, VersionEntry
 from repro.mvcc.regions import DataRegion, DeltaAllocator
@@ -62,12 +75,58 @@ class MVCCManager:
         #: gone, but the rows stay dead forever (ids are never reused).
         self._dead_rows: Set[int] = set()
         self._log: List[UpdateRecord] = []
+        #: Parallel write_ts list of ``_log`` (non-decreasing — commit
+        #: order), so ``log_since``/``log_between`` bisect instead of
+        #: re-scanning the whole log on every incremental snapshot.
+        self._log_ts: List[int] = []
+        # Packed visibility index, one entry per data-region row:
+        # head write_ts (0 = origin), head delta index (-1 = head lives
+        # in the data region), chain length (0 = never versioned),
+        # tombstone ts (-1 = live), and the permanent dead flag.
+        capacity = max(capacity_rows, 1)
+        self._head_ts = np.zeros(capacity, dtype=np.int64)
+        self._head_delta = np.full(capacity, -1, dtype=np.int64)
+        self._chain_len = np.zeros(capacity, dtype=np.int32)
+        self._tomb_ts = np.full(capacity, -1, dtype=np.int64)
+        self._dead = np.zeros(capacity, dtype=bool)
+        #: Superseded versions outstanding — incremented per installed
+        #: update, decremented on undo, zeroed by compaction. Always
+        #: equals ``sum(chain.length() - 1)`` (invariant-checked).
+        self._stale_versions = 0
+        #: Rows whose newest version lives in the delta region, in the
+        #: order their head first moved there (an ordered set).
+        self._delta_heads: Dict[int, None] = {}
 
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
     def read(self, row_id: int, ts: int) -> RowRef:
         """Locate the version of ``row_id`` visible at ``ts``."""
+        if not perf.vectorized():
+            return self._read_reference(row_id, ts)
+        self._check_row(row_id)
+        if row_id in self._dead_rows:
+            raise TransactionError(f"row {row_id} deleted (folded by defragmentation)")
+        tomb = self._tombstones.get(row_id)
+        if tomb is not None and tomb <= ts:
+            raise TransactionError(f"row {row_id} deleted at ts {tomb}")
+        chain = self._chains.get(row_id)
+        if chain is None:
+            return RowRef(Region.DATA, row_id)
+        if self._head_ts[row_id] <= ts:
+            # Common case: the newest version is visible — resolved by
+            # the packed index without walking the chain.
+            head = chain.head
+            head.observe_read(ts)
+            return head.location
+        entry = chain.visible_at(ts)
+        if entry is None:
+            raise TransactionError(f"row {row_id} not visible at ts {ts}")
+        entry.observe_read(ts)
+        return entry.location
+
+    def _read_reference(self, row_id: int, ts: int) -> RowRef:
+        """Naive read path: tombstone dicts plus a version-chain walk."""
         self._check_row(row_id)
         if row_id in self._dead_rows:
             raise TransactionError(f"row {row_id} deleted (folded by defragmentation)")
@@ -94,7 +153,12 @@ class MVCCManager:
         """Number of versions of ``row_id`` (1 if never updated)."""
         self._check_row(row_id)
         chain = self._chains.get(row_id)
-        return chain.length() if chain is not None else 1
+        if chain is None:
+            return 1
+        if perf.vectorized():
+            # O(1) from the packed index instead of a chain walk.
+            return int(self._chain_len[row_id])
+        return chain.length()
 
     # ------------------------------------------------------------------
     # Writes
@@ -130,9 +194,16 @@ class MVCCManager:
             origin = VersionEntry(write_ts=0, location=RowRef(Region.DATA, row_id))
             chain = VersionChain(row_id, origin)
             self._chains[row_id] = chain
+            self._chain_len[row_id] = 1
         prev_ref = chain.head.location
         chain.install(VersionEntry(write_ts=ts, location=new_ref))
-        self._log.append(UpdateRecord(ts, "update", row_id, new_ref, prev_ref))
+        self._chain_len[row_id] += 1
+        self._head_ts[row_id] = ts
+        self._head_delta[row_id] = delta_index
+        self._stale_versions += 1
+        if row_id not in self._delta_heads:
+            self._delta_heads[row_id] = None
+        self._append_log(UpdateRecord(ts, "update", row_id, new_ref, prev_ref))
         return new_ref
 
     def insert(self, ts: int) -> Tuple[int, RowRef]:
@@ -145,7 +216,10 @@ class MVCCManager:
         self.num_rows += 1
         ref = RowRef(Region.DATA, row_id)
         self._chains[row_id] = VersionChain(row_id, VersionEntry(ts, ref))
-        self._log.append(UpdateRecord(ts, "insert", row_id, ref, None))
+        self._chain_len[row_id] = 1
+        self._head_ts[row_id] = ts
+        self._head_delta[row_id] = -1
+        self._append_log(UpdateRecord(ts, "insert", row_id, ref, None))
         return row_id, ref
 
     def delete(self, row_id: int, ts: int) -> None:
@@ -154,7 +228,8 @@ class MVCCManager:
         if row_id in self._tombstones or row_id in self._dead_rows:
             raise TransactionError(f"row {row_id} already deleted")
         self._tombstones[row_id] = ts
-        self._log.append(UpdateRecord(ts, "delete", row_id, None, self.newest_ref(row_id)))
+        self._tomb_ts[row_id] = ts
+        self._append_log(UpdateRecord(ts, "delete", row_id, None, self.newest_ref(row_id)))
 
     # ------------------------------------------------------------------
     # Rollback (transaction aborts)
@@ -175,6 +250,15 @@ class MVCCManager:
         self._pop_log("update", row_id)
         chain.head = chain.head.prev
         self.delta.release(removed.index)
+        self._stale_versions -= 1
+        self._chain_len[row_id] -= 1
+        head = chain.head
+        self._head_ts[row_id] = head.write_ts
+        if head.location.region == Region.DELTA:
+            self._head_delta[row_id] = head.location.index
+        else:
+            self._head_delta[row_id] = -1
+            self._delta_heads.pop(row_id, None)
         return removed
 
     def undo_insert(self, row_id: int) -> None:
@@ -191,6 +275,9 @@ class MVCCManager:
         self._pop_log("insert", row_id)
         del self._chains[row_id]
         self.num_rows -= 1
+        self._chain_len[row_id] = 0
+        self._head_ts[row_id] = 0
+        self._head_delta[row_id] = -1
 
     def undo_delete(self, row_id: int) -> None:
         """Remove a tombstone (abort path)."""
@@ -198,6 +285,11 @@ class MVCCManager:
             raise TransactionError(f"row {row_id} is not deleted")
         self._pop_log("delete", row_id)
         del self._tombstones[row_id]
+        self._tomb_ts[row_id] = -1
+
+    def _append_log(self, record: UpdateRecord) -> None:
+        self._log.append(record)
+        self._log_ts.append(record.write_ts)
 
     def _pop_log(self, kind: str, row_id: int) -> None:
         if not self._log or self._log[-1].kind != kind or self._log[-1].row_id != row_id:
@@ -205,6 +297,7 @@ class MVCCManager:
                 f"log tail does not match undo of {kind} on row {row_id}"
             )
         self._log.pop()
+        self._log_ts.pop()
 
     def tombstoned_rows(self) -> List[int]:
         """Row ids deleted so far (all committed in the single-writer sim).
@@ -222,16 +315,19 @@ class MVCCManager:
     # Snapshot / defragmentation support
     # ------------------------------------------------------------------
     def log_since(self, ts: int) -> Iterator[UpdateRecord]:
-        """Committed records with ``write_ts > ts``, in commit order."""
-        for record in self._log:
-            if record.write_ts > ts:
-                yield record
+        """Committed records with ``write_ts > ts``, in commit order.
+
+        Timestamps are appended in commit order (non-decreasing,
+        invariant-checked), so the start position bisects in O(log n)
+        rather than re-scanning the whole log.
+        """
+        return iter(self._log[bisect.bisect_right(self._log_ts, ts) :])
 
     def log_between(self, after_ts: int, upto_ts: int) -> Iterator[UpdateRecord]:
         """Records with ``after_ts < write_ts <= upto_ts`` (snapshotting)."""
-        for record in self._log:
-            if after_ts < record.write_ts <= upto_ts:
-                yield record
+        lo = bisect.bisect_right(self._log_ts, after_ts)
+        hi = bisect.bisect_right(self._log_ts, upto_ts, lo=lo)
+        return iter(self._log[lo:hi])
 
     @property
     def log_length(self) -> int:
@@ -239,14 +335,79 @@ class MVCCManager:
         return len(self._log)
 
     def updated_chains(self) -> List[VersionChain]:
-        """Chains whose newest version lives in the delta region."""
-        return [
-            c for c in self._chains.values() if c.head.location.region == Region.DELTA
-        ]
+        """Chains whose newest version lives in the delta region.
+
+        O(updated rows) via the maintained delta-head set, in the order
+        each row's head first moved to the delta region.
+        """
+        return [self._chains[row_id] for row_id in self._delta_heads]
 
     def stale_version_count(self) -> int:
-        """Superseded versions awaiting defragmentation."""
-        return sum(c.length() - 1 for c in self._chains.values())
+        """Superseded versions awaiting defragmentation (O(1))."""
+        return self._stale_versions
+
+    def visible_refs_at(self, ts: int, delta_rows: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Visibility bitmaps at ``ts``, batched over the packed index.
+
+        Returns boolean arrays over the data region (``capacity_rows``
+        entries) and the delta region's first ``delta_rows`` entries.
+        Rows whose head is newer than ``ts`` fall back to a chain walk —
+        the only per-row work, and only for in-flight multi-version rows.
+        Unlike :meth:`read`, this never observes reads (it describes a
+        snapshot, it doesn't take part in concurrency control).
+        """
+        if not perf.vectorized():
+            return self._visible_refs_reference(ts, delta_rows)
+        n = self.num_rows
+        data_bits = np.zeros(self.data.num_rows, dtype=bool)
+        delta_bits = np.zeros(max(delta_rows, 1), dtype=bool)[:delta_rows]
+        if n == 0:
+            return data_bits, delta_bits
+        head_ts = self._head_ts[:n]
+        head_delta = self._head_delta[:n]
+        chain_len = self._chain_len[:n]
+        tomb = self._tomb_ts[:n]
+        alive = ~self._dead[:n] & ~((tomb >= 0) & (tomb <= ts))
+        head_visible = alive & ((chain_len == 0) | (head_ts <= ts))
+        rows = np.nonzero(head_visible)[0]
+        deltas = head_delta[rows]
+        data_bits[rows[deltas < 0]] = True
+        delta_bits[deltas[deltas >= 0]] = True
+        # Rare fallback: alive rows whose newest version post-dates ts.
+        for row in np.nonzero(alive & (chain_len > 0) & (head_ts > ts))[0]:
+            entry = self._chains[int(row)].visible_at(int(ts))
+            if entry is None:
+                continue
+            if entry.location.region == Region.DATA:
+                data_bits[entry.location.index] = True
+            else:
+                delta_bits[entry.location.index] = True
+        return data_bits, delta_bits
+
+    def _visible_refs_reference(
+        self, ts: int, delta_rows: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Naive visibility bitmaps: one chain resolution per row."""
+        data_bits = np.zeros(self.data.num_rows, dtype=bool)
+        delta_bits = np.zeros(max(delta_rows, 1), dtype=bool)[:delta_rows]
+        for row_id in range(self.num_rows):
+            if row_id in self._dead_rows:
+                continue
+            tomb = self._tombstones.get(row_id)
+            if tomb is not None and tomb <= ts:
+                continue
+            chain = self._chains.get(row_id)
+            if chain is None:
+                data_bits[row_id] = True
+                continue
+            entry = chain.visible_at(ts)
+            if entry is None:
+                continue
+            if entry.location.region == Region.DATA:
+                data_bits[entry.location.index] = True
+            else:
+                delta_bits[entry.location.index] = True
+        return data_bits, delta_bits
 
     def compact(self) -> List[Tuple[int, RowRef]]:
         """Defragmentation bookkeeping: fold newest versions into the data
@@ -277,6 +438,21 @@ class MVCCManager:
         self._tombstones.clear()
         self.delta.release_all()
         self._log.clear()
+        self._log_ts.clear()
+        # Packed index: batch-fold the same transitions.
+        self._stale_versions = 0
+        self._delta_heads.clear()
+        if dead:
+            folded = np.fromiter(dead, dtype=np.int64, count=len(dead))
+            self._dead[folded] = True
+            self._tomb_ts[folded] = -1
+            self._chain_len[folded] = 0
+            self._head_ts[folded] = 0
+            self._head_delta[folded] = -1
+        if self._chains:
+            live = np.fromiter(self._chains.keys(), dtype=np.int64, count=len(self._chains))
+            self._chain_len[live] = 1
+            self._head_delta[live] = -1
         return moves
 
     def _check_row(self, row_id: int) -> None:

@@ -306,9 +306,12 @@ class OLAPEngine:
             if count <= 0:
                 continue
             raw = storage.read_column_values(region, column, count)
-            values = np.array(
-                [v if isinstance(v, int) else 0 for v in raw], dtype=np.uint64
-            )
+            if storage.layout.schema.column(column).kind == "int":
+                values = np.fromiter(raw, dtype=np.uint64, count=count)
+            else:
+                # Opaque byte columns compare as 0 (matches the per-row
+                # ``v if isinstance(v, int) else 0`` reference behavior).
+                values = np.zeros(count, dtype=np.uint64)
             matches = condition.evaluate(values) & visible[:count]
             cpu_bytes += storage.cpu_scan_bytes(column, count)
             timing.cpu_time += count * per_row_compute

@@ -23,7 +23,7 @@ import numpy as np
 from repro.core.storage import BlockScan, TableStorage
 from repro.errors import QueryError
 from repro.mvcc.metadata import Region
-from repro.pim.pim_unit import Condition, PIMUnit
+from repro.pim.pim_unit import Condition, PIMUnit, bytes_to_uints
 from repro.pim.requests import LaunchRequest, OpType
 from repro.pim.timing import stream_time
 from repro.units import ceil_div
@@ -99,10 +99,17 @@ class _ColumnScanOperation:
         if missing:
             raise QueryError(f"no PIM unit for banks {missing}")
         any_unit = next(iter(units.values()))
+        # The WRAM footprint is invariant per operation — compute it once
+        # and precompute every batch slot's offsets instead of rebuilding
+        # the dict on each of the per-block load/compute calls.
+        self._block_wram_bytes = self._per_block_wram_bytes()
         self._blocks_per_phase = self._compute_blocks_per_phase(any_unit)
         self._chunks = max(
             ceil_div(len(q), self._blocks_per_phase) for q in self._queues.values()
         )
+        self._slot_offsets = [
+            self._offsets(slot) for slot in range(self._blocks_per_phase)
+        ]
 
     # -- WRAM budget ----------------------------------------------------
     def _per_block_wram_bytes(self) -> int:
@@ -118,7 +125,7 @@ class _ColumnScanOperation:
 
     def _compute_blocks_per_phase(self, unit: PIMUnit) -> int:
         budget = unit.config.load_buffer_bytes
-        need = self._per_block_wram_bytes()
+        need = self._block_wram_bytes
         if need > budget:
             raise QueryError(
                 f"one block needs {need} B of WRAM, budget is {budget} B"
@@ -127,7 +134,7 @@ class _ColumnScanOperation:
 
     def _offsets(self, batch_slot: int) -> Dict[str, int]:
         """WRAM offsets of one block's regions within a phase batch."""
-        base = batch_slot * self._per_block_wram_bytes()
+        base = batch_slot * self._block_wram_bytes
         block = self.storage.block_rows
         bitmap = base
         data = bitmap + block // 8
@@ -172,7 +179,7 @@ class _ColumnScanOperation:
         bank_base = unit.bank.start
         for batch_slot, scan_index in enumerate(self._batch(key, chunk)):
             scan, row_slice = self._scans[scan_index]
-            offsets = self._offsets(batch_slot)
+            offsets = self._slot_offsets[batch_slot]
             time += unit.load_strided(
                 scan.dram_addr - bank_base,
                 scan.num_rows * self.width,
@@ -218,7 +225,9 @@ class _ColumnScanOperation:
         key = (unit.bank.device.index, unit.bank.index)
         for batch_slot, scan_index in enumerate(self._batch(key, chunk)):
             scan, row_slice = self._scans[scan_index]
-            time += self._compute_block(unit, scan, row_slice, self._offsets(batch_slot))
+            time += self._compute_block(
+                unit, scan, row_slice, self._slot_offsets[batch_slot]
+            )
         return time
 
     def _compute_block(
@@ -314,8 +323,6 @@ class GroupOperation(_ColumnScanOperation):
         visible = indices != 0xFFFF
         num_groups = int(indices[visible].max()) + 1 if visible.any() else 0
         keys_raw = unit.wram_read(offsets["aux"], num_groups * self.width)
-        from repro.pim.pim_unit import bytes_to_uints
-
         self.block_dicts[row_slice] = bytes_to_uints(keys_raw, self.width)
         self.block_indices[row_slice] = indices.copy()
         self.cpu_transfer_bytes += num_groups * self.width + scan.num_rows * 2
@@ -440,8 +447,6 @@ class HashOperation(_ColumnScanOperation):
         )
         hashes = unit.wram_read(offsets["result"], scan.num_rows * 4).view(np.uint32)
         self.hashes[row_slice] = hashes.copy()
-        from repro.pim.pim_unit import bytes_to_uints
-
         raw = unit.wram_read(offsets["data"], scan.num_rows * self.width)
         self.values[row_slice] = bytes_to_uints(raw, self.width)
         self.cpu_transfer_bytes += hashes.nbytes

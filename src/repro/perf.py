@@ -1,0 +1,51 @@
+"""Host-execution mode switch: vectorized vs. naive reference paths.
+
+The simulator has two implementations of its hottest host-side loops
+(the OLAP scan inner loop, the MVCC read path, the CPU fallback scan):
+
+* the **vectorized** paths execute block-granular NumPy batches — the
+  production mode, mirroring how the modelled hardware streams whole
+  blocks with per-block (not per-row) control cost;
+* the **naive** reference paths keep the original row-at-a-time Python
+  loops.
+
+Both must produce *bit-identical* results — identical bytes moved,
+identical modelled times, identical counters. The retained naive paths
+exist so the equivalence is checkable: the property tests and the
+``repro.bench`` harness run both modes and assert equality, which is
+what lets a perf PR claim "same simulation, faster host".
+
+The switch is process-global (the simulator is single-threaded) and
+defaults to vectorized.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["vectorized", "set_vectorized", "naive_mode"]
+
+_VECTORIZED = True
+
+
+def vectorized() -> bool:
+    """Whether the vectorized hot paths are active."""
+    return _VECTORIZED
+
+
+def set_vectorized(enabled: bool) -> None:
+    """Select the vectorized (True) or naive reference (False) paths."""
+    global _VECTORIZED
+    _VECTORIZED = bool(enabled)
+
+
+@contextmanager
+def naive_mode() -> Iterator[None]:
+    """Run a block under the naive reference paths, then restore."""
+    previous = _VECTORIZED
+    set_vectorized(False)
+    try:
+        yield
+    finally:
+        set_vectorized(previous)

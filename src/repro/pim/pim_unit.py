@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 import numpy as np
 
+from repro import perf
 from repro.core.config import DRAMTimings, DeviceGeometry, PIMUnitConfig
 from repro.errors import MemoryError_, ProtocolError
 from repro.pim.device import Bank
@@ -40,16 +41,27 @@ _CYCLES_PER_ELEMENT = {
 }
 
 
+#: Widths with a native little-endian dtype (decoded via a zero-copy view).
+_NATIVE_WIDTHS = {1: "<u1", 2: "<u2", 4: "<u4", 8: "<u8"}
+
+
 def bytes_to_uints(raw: np.ndarray, width: int) -> np.ndarray:
     """Decode a flat byte array into little-endian unsigned ints.
 
     ``width`` may be 1–8 bytes; the result dtype is ``uint64``.
     """
-    raw = np.asarray(raw, dtype=np.uint8)
+    raw = np.ascontiguousarray(raw, dtype=np.uint8)
     if width <= 0 or width > 8:
         raise ProtocolError(f"element width must be 1..8, got {width}")
     if len(raw) % width != 0:
         raise ProtocolError(f"byte length {len(raw)} not a multiple of width {width}")
+    if perf.vectorized() and width in _NATIVE_WIDTHS:
+        return raw.view(_NATIVE_WIDTHS[width]).astype(np.uint64)
+    return _bytes_to_uints_reference(raw, width)
+
+
+def _bytes_to_uints_reference(raw: np.ndarray, width: int) -> np.ndarray:
+    """Positional weights decode — the naive reference for all widths."""
     mat = raw.reshape(-1, width).astype(np.uint64)
     weights = (np.uint64(1) << (np.uint64(8) * np.arange(width, dtype=np.uint64)))
     return (mat * weights).sum(axis=1, dtype=np.uint64)
@@ -57,9 +69,19 @@ def bytes_to_uints(raw: np.ndarray, width: int) -> np.ndarray:
 
 def uints_to_bytes(values: np.ndarray, width: int) -> np.ndarray:
     """Inverse of :func:`bytes_to_uints`."""
-    values = np.asarray(values, dtype=np.uint64)
+    values = np.ascontiguousarray(values, dtype=np.uint64)
     if width <= 0 or width > 8:
         raise ProtocolError(f"element width must be 1..8, got {width}")
+    if perf.vectorized() and width == 8:
+        return values.view(np.uint8).copy()
+    if perf.vectorized() and width in _NATIVE_WIDTHS:
+        # Narrowing keeps the low bytes — exactly the per-byte shifts below.
+        return values.astype(_NATIVE_WIDTHS[width]).view(np.uint8).copy()
+    return _uints_to_bytes_reference(values, width)
+
+
+def _uints_to_bytes_reference(values: np.ndarray, width: int) -> np.ndarray:
+    """Per-byte shift encode — the naive reference for all widths."""
     out = np.empty((len(values), width), dtype=np.uint8)
     for b in range(width):
         out[:, b] = (values >> np.uint64(8 * b)).astype(np.uint8)
@@ -197,12 +219,28 @@ class PIMUnit:
             raise ProtocolError(f"invalid stride/chunk {stride}/{chunk}")
         self._check_wram(wram_offset, length)
         pieces = ceil_div(length, chunk)
-        out = np.empty(length, dtype=np.uint8)
-        pos = 0
-        for i in range(pieces):
-            take = min(chunk, length - pos)
-            out[pos : pos + take] = self.bank.read(dram_addr + i * stride, take)
-            pos += take
+        if perf.vectorized():
+            if stride == chunk:
+                out = self.bank.read(dram_addr, length)
+            else:
+                # One span read covering every piece, then a strided
+                # gather — the furthest byte touched equals the naive
+                # per-piece loop's, so bank bounds behave identically.
+                last_take = length - (pieces - 1) * chunk
+                span = (pieces - 1) * stride + last_take
+                flat = self.bank.read(dram_addr, span)
+                idx = (
+                    np.arange(pieces, dtype=np.intp)[:, None] * stride
+                    + np.arange(chunk, dtype=np.intp)[None, :]
+                ).reshape(-1)[:length]
+                out = flat[idx]
+        else:
+            out = np.empty(length, dtype=np.uint8)
+            pos = 0
+            for i in range(pieces):
+                take = min(chunk, length - pos)
+                out[pos : pos + take] = self.bank.read(dram_addr + i * stride, take)
+                pos += take
         self.wram[wram_offset : wram_offset + length] = out
         granule = self.config.access_granularity
         if stride == chunk:
@@ -364,19 +402,14 @@ class PIMUnit:
         """
         h1 = self.wram_read(hash1_offset, count1 * 4).view(np.uint32)
         h2 = self.wram_read(hash2_offset, count2 * 4).view(np.uint32)
-        pairs = []
-        positions = {}
-        for j, h in enumerate(h2):
-            if h:
-                positions.setdefault(int(h), []).append(j)
-        for i, h in enumerate(h1):
-            for j in positions.get(int(h), ()):
-                pairs.append((i, j))
-        out = np.empty(4 + len(pairs) * 8, dtype=np.uint8)
-        out[:4] = np.frombuffer(np.uint32(len(pairs)).tobytes(), dtype=np.uint8)
-        if pairs:
-            arr = np.array(pairs, dtype=np.uint32).reshape(-1)
-            out[4:] = arr.view(np.uint8)
+        if perf.vectorized():
+            pairs_flat, num_pairs = _join_pairs_vectorized(h1, h2)
+        else:
+            pairs_flat, num_pairs = _join_pairs_reference(h1, h2)
+        out = np.empty(4 + num_pairs * 8, dtype=np.uint8)
+        out[:4] = np.frombuffer(np.uint32(num_pairs).tobytes(), dtype=np.uint8)
+        if num_pairs:
+            out[4:] = pairs_flat.view(np.uint8)
         self.wram_write(result_offset, out)
         return self._compute_time(count1 + count2, "join")
 
@@ -384,8 +417,25 @@ class PIMUnit:
         """Defragmentation helper: copy ``width``-byte slots bank-locally."""
         if len(src_addrs) != len(dst_addrs):
             raise ProtocolError("src/dst address count mismatch")
-        for src, dst in zip(src_addrs, dst_addrs):
-            self.bank.write(int(dst), self.bank.read(int(src), width))
+        if perf.vectorized() and len(src_addrs):
+            src = np.asarray(src_addrs, dtype=np.intp)
+            dst = np.asarray(dst_addrs, dtype=np.intp)
+            hi = max(int(src.max()), int(dst.max())) + width
+            if src.min() < 0 or dst.min() < 0 or hi > self.bank.size:
+                raise MemoryError_(
+                    f"bank {self.bank.index} copy_rows access out of range "
+                    f"(size {self.bank.size})"
+                )
+            # Defragmentation copies delta blocks into data blocks — the
+            # regions are distinct allocations, so gather-then-scatter
+            # matches the sequential per-row copy.
+            data = self.bank.device.data
+            base = self.bank.start
+            lanes = np.arange(width, dtype=np.intp)
+            data[base + dst[:, None] + lanes] = data[base + src[:, None] + lanes]
+        else:
+            for src_a, dst_a in zip(src_addrs, dst_addrs):
+                self.bank.write(int(dst_a), self.bank.read(int(src_a), width))
         granule = self.config.access_granularity
         moved = 2 * len(src_addrs) * max(width, granule)
         time = self._dram_time(moved)
@@ -394,6 +444,52 @@ class PIMUnit:
         self.stats.load_time += time
         time += self._compute_time(len(src_addrs), "copy")
         return time
+
+
+def _join_pairs_reference(h1: np.ndarray, h2: np.ndarray):
+    """Naive bucket match: build-side dict probed row by row.
+
+    Pair order is probe index ``i`` ascending, then build index ``j``
+    ascending within equal hashes. Hash 0 marks invisible rows on both
+    sides and never matches.
+    """
+    pairs = []
+    positions = {}
+    for j, h in enumerate(h2):
+        if h:
+            positions.setdefault(int(h), []).append(j)
+    for i, h in enumerate(h1):
+        for j in positions.get(int(h), ()):
+            pairs.append((i, j))
+    if not pairs:
+        return np.empty(0, dtype=np.uint32), 0
+    return np.array(pairs, dtype=np.uint32).reshape(-1), len(pairs)
+
+
+def _join_pairs_vectorized(h1: np.ndarray, h2: np.ndarray):
+    """Sort/searchsorted bucket match, same pair order as the reference.
+
+    The stable sort groups equal build-side hashes while preserving
+    ascending ``j`` within each group, so the ragged gather reproduces
+    the reference's (i-major, j-ascending) order exactly.
+    """
+    j_nonzero = np.nonzero(h2)[0]
+    if len(j_nonzero) == 0 or len(h1) == 0:
+        return np.empty(0, dtype=np.uint32), 0
+    h2_live = h2[j_nonzero]
+    order = np.argsort(h2_live, kind="stable")
+    h2_sorted = h2_live[order]
+    j_sorted = j_nonzero[order]
+    left = np.searchsorted(h2_sorted, h1, side="left")
+    counts = np.searchsorted(h2_sorted, h1, side="right") - left
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.uint32), 0
+    i_rep = np.repeat(np.arange(len(h1), dtype=np.uint32), counts)
+    starts = np.cumsum(counts) - counts
+    within = np.arange(total, dtype=np.intp) - np.repeat(starts, counts)
+    j_rep = j_sorted[np.repeat(left, counts) + within].astype(np.uint32)
+    return np.stack([i_rep, j_rep], axis=1).reshape(-1), total
 
 
 def _hash_u64(values: np.ndarray, hash_function: int) -> np.ndarray:

@@ -116,6 +116,7 @@ def run_profile(
 
     tracer = Tracer(registry.spans)
     report = analyze(tracer)
+    peak_rss_kib = _peak_rss_kib()
     bench: Dict[str, object] = {
         "version": BENCH_VERSION,
         "tag": tag,
@@ -133,8 +134,11 @@ def run_profile(
         "wall_clock": {
             "build_s": round(build_s, 4),
             "run_s": round(run_s, 4),
-            "peak_rss_kib": _peak_rss_kib(),
+            "peak_rss_kib": peak_rss_kib,
         },
+        # Top-level scalars so bench comparisons don't re-derive them.
+        "wall_clock_s": round(build_s + run_s, 4),
+        "peak_rss_bytes": peak_rss_kib * 1024 if peak_rss_kib is not None else None,
         "spans": {
             name: stats.as_dict() for name, stats in sorted(report.names.items())
         },
