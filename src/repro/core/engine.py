@@ -19,7 +19,7 @@ Build one with :meth:`PushTapEngine.build`; see ``examples/quickstart.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import SystemConfig, dimm_system
 from repro.core.database import Database
@@ -27,7 +27,7 @@ from repro.core.defrag import DefragExecutor, DefragResult, Strategy
 from repro.core.snapshot import SnapshotManager
 from repro.core.storage import RankAllocator, TableStorage
 from repro.core.table import TableRuntime
-from repro.errors import ConfigError
+from repro.errors import ConfigError, QueryError
 from repro.faults import injector as faults
 from repro.faults import plan as fault_plan
 from repro.format.binpack import compact_aligned_layout
@@ -48,6 +48,9 @@ from repro.telemetry import registry as telemetry
 from repro.units import KIB, ceil_div, round_up
 from repro.workloads.chbench import all_queries, ch_schema, key_columns_for, row_counts
 from repro.workloads.tpcc_gen import generate_table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ivm.manager import IVMManager
 
 __all__ = ["PushTapEngine", "EngineStats", "OLAPBatchResult"]
 
@@ -117,6 +120,8 @@ class PushTapEngine:
         self.ranks: List[Rank] = [rank]
         self.rank_units: List[Dict[Tuple[int, int], PIMUnit]] = [units]
         self.stats = EngineStats()
+        #: Optional incremental-view layer (see :meth:`enable_ivm`).
+        self.ivm = None
         self._txns_since_defrag = 0
         self._defrag_executors: Dict[str, DefragExecutor] = {
             name: DefragExecutor(
@@ -570,6 +575,10 @@ class PushTapEngine:
             self.stats.defrag_time += results[name].total_time
         self.stats.defrag_runs += 1
         self._txns_since_defrag = 0
+        if self.ivm is not None:
+            # Compaction cleared the update logs and released superseded
+            # delta versions — views must resync from the new horizon.
+            self.ivm.on_defrag(ts)
         return results
 
     # ------------------------------------------------------------------
@@ -608,7 +617,45 @@ class PushTapEngine:
             )
         return result
 
-    def query_batch(self, names: Sequence[str]) -> "OLAPBatchResult":
+    def enable_ivm(self, queries: Sequence[str] = ("Q1", "Q6", "Q9")) -> "IVMManager":
+        """Attach (or extend) the incremental-view layer.
+
+        Registers one materialized view per named query; already
+        registered views are kept. Returns the manager.
+        """
+        from repro.ivm.manager import IVMManager
+
+        if self.ivm is None:
+            self.ivm = IVMManager(self)
+        for name in queries:
+            self.ivm.register(name)
+        return self.ivm
+
+    def query_ivm(self, name: str) -> QueryResult:
+        """Answer a registered view incrementally at the current read ts.
+
+        Counterpart of :meth:`query`: same result rows and engine-stats
+        accounting, but served from maintained view state — the cost is
+        CPU-side delta folding, with no PIM launch and no mode switch.
+        """
+        if self.ivm is None:
+            raise QueryError("incremental views are not enabled on this engine")
+        ts = self.db.oracle.read_timestamp()
+        result = self.ivm.answer(name, ts)
+        self.stats.queries += 1
+        self.stats.olap_time += result.total_time
+        tel = telemetry.active()
+        if tel.enabled:
+            tel.counter("olap.queries").inc()
+            tel.counter("olap.ivm.queries").inc()
+            tel.histogram(f"olap.query.{name}.latency_ns").observe(result.total_time)
+            if result.total_time > 1e-9:
+                tel.record_span("olap.ivm", result.total_time, {"query": name})
+        return result
+
+    def query_batch(
+        self, names: Sequence[str], use_ivm: bool = False
+    ) -> "OLAPBatchResult":
         """Run several analytical queries under one bank mode switch.
 
         The controller's mode-batch hook holds the banks in PIM mode for
@@ -617,7 +664,15 @@ class PushTapEngine:
         switches make worthwhile only when launches are batched (§1, and
         the UPMEM launch-overhead observation). The switch cost itself is
         charged to OLAP time but to no individual query.
+
+        With ``use_ivm`` the batch is answered from the incremental-view
+        layer instead: no mode switch is needed at all (delta folding is
+        pure CPU work), so ``switch_time`` is zero.
         """
+        if use_ivm:
+            return OLAPBatchResult(
+                results=[self.query_ivm(name) for name in names], switch_time=0.0
+            )
         switch_time = self.olap.begin_mode_batch()
         try:
             results = [self.query(name) for name in names]

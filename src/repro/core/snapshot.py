@@ -78,6 +78,10 @@ class SnapshotManager:
                 f"snapshot timestamp {ts} precedes last snapshot "
                 f"{self.last_snapshot_ts}"
             )
+        if ts == self.last_snapshot_ts:
+            # Already at this horizon — repeated calls are idempotent
+            # no-ops rather than a log walk plus a fresh cost object.
+            return SnapshotCost(records=0, bits_flipped=0, metadata_bytes=0, bitmap_bytes=0)
         records = 0
         bits = 0
         touched_granules = set()

@@ -586,7 +586,7 @@ def serve(argv) -> int:
     import json
 
     from repro.serve.loop import ServeConfig
-    from repro.serve.runner import run_policy_ablation, run_serve
+    from repro.serve.runner import run_ivm_ablation, run_policy_ablation, run_serve
     from repro.serve.scheduler import POLICIES
     from repro.serve.slo import SLOTargets
 
@@ -674,7 +674,18 @@ def serve(argv) -> int:
     parser.add_argument(
         "--ablation",
         action="store_true",
-        help="run the arrival-rate x policy sweep instead of one run",
+        help=(
+            "run the arrival-rate x policy sweep plus the incremental-vs-"
+            "rescan sweep instead of one run"
+        ),
+    )
+    parser.add_argument(
+        "--ivm",
+        action="store_true",
+        help=(
+            "maintain incremental views; the scheduler answers flushes by "
+            "folding deltas when that beats a full rescan"
+        ),
     )
     parser.add_argument(
         "--out",
@@ -711,7 +722,45 @@ def serve(argv) -> int:
                 for c in report["cells"]
             ],
         ))
-        failed = any(c["slo_errors"] for c in report["cells"])
+        ivm_report = run_ivm_ablation(
+            seed=args.seed,
+            tenants=args.tenants,
+            requests_per_tenant=args.requests,
+            olap_fraction=max(args.olap_fraction, 0.05),
+            scale=args.scale,
+        )
+        report["ivm"] = ivm_report
+        print()
+        print(format_table(
+            [
+                "rate/tenant", "mode", "QphH", "tpmC", "ivm flushes",
+                "rescan flushes", "max stale", "max snap lag",
+            ],
+            [
+                [
+                    f"{c['rate_per_tenant']:,.0f}",
+                    c["mode"],
+                    f"{c['olap_qphh']:,.0f}",
+                    f"{c['oltp_tpmc']:,.0f}",
+                    c["ivm_flushes"],
+                    c["rescan_flushes"],
+                    c["max_staleness_txns"],
+                    format_time_ns(c["max_snapshot_lag_ns"]),
+                ]
+                for c in ivm_report["cells"]
+            ],
+        ))
+        for delta in ivm_report["deltas"]:
+            print(
+                f"rate {delta['rate_per_tenant']:,.0f}: incremental QphH "
+                f"{delta['olap_qphh_ratio']:.3f}x rescan "
+                f"({delta['olap_qphh_delta']:+,.0f}), max-staleness delta "
+                f"{delta['max_staleness_delta']:+d} txns, max snapshot-lag "
+                f"delta {delta['max_snapshot_lag_delta_ns']:+,.0f} ns"
+            )
+        failed = any(
+            c["slo_errors"] for c in report["cells"] + ivm_report["cells"]
+        )
     else:
         config = ServeConfig(
             tenants=args.tenants,
@@ -726,6 +775,7 @@ def serve(argv) -> int:
             bucket_rate=args.bucket_rate,
             batch_threshold=args.batch_threshold,
             freshness_sla_txns=args.freshness_sla,
+            ivm=args.ivm,
             slo=SLOTargets(oltp_ns=args.slo_oltp_ns, olap_ns=args.slo_olap_ns),
         )
         result = run_serve(
@@ -760,6 +810,12 @@ def serve(argv) -> int:
             f"batch(es); handovers {sched['handovers']} "
             f"(saved {sched['handovers_saved']})"
         )
+        if sched["ivm"]["enabled"]:
+            print(
+                f"ivm: {sched['ivm']['ivm_flushes']} delta flush(es) "
+                f"({sched['ivm']['ivm_queries']} queries), "
+                f"{sched['ivm']['rescan_flushes']} rescan flush(es)"
+            )
         print(
             f"admission: {admission['admitted']}/{admission['submitted']} "
             f"admitted, {admission['rejected']} rejected "

@@ -1,0 +1,90 @@
+"""Z-set primitives: weighted multisets and MVCC record deltas.
+
+A Z-set maps values to signed integer weights; a weight of zero
+annihilates the entry. Committed writes translate into weighted row
+deltas (the DBSP change-stream encoding):
+
+* insert → ``(new_row, +1)``
+* delete → ``(old_row, -1)``
+* update → ``(old_row, -1), (new_row, +1)``
+
+Linear view operators fold these pairs directly into their state; the
+join view composes two linear halves via the chain rule.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterator, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.mvcc.manager import UpdateRecord
+
+__all__ = ["ZSet", "record_deltas"]
+
+#: Decoded row, as a tuple of column values in the view's column order.
+Row = Tuple[int, ...]
+
+#: Reads the named columns of one row version (``RowRef`` → values).
+RowReader = Callable[[object], Sequence[int]]
+
+
+class ZSet:
+    """A weighted multiset over hashable values.
+
+    Only non-zero weights are stored: adding an opposite weight removes
+    the entry entirely, so a fully retracted value leaves no residue
+    (important for bit-identical comparison against rescans).
+    """
+
+    __slots__ = ("_weights",)
+
+    def __init__(self) -> None:
+        self._weights: Dict[Hashable, int] = {}
+
+    def add(self, value: Hashable, weight: int = 1) -> None:
+        """Fold ``weight`` into ``value``'s entry (zero annihilates)."""
+        total = self._weights.get(value, 0) + weight
+        if total:
+            self._weights[value] = total
+        else:
+            self._weights.pop(value, None)
+
+    def weight(self, value: Hashable) -> int:
+        """The current weight of ``value`` (0 when absent)."""
+        return self._weights.get(value, 0)
+
+    def items(self) -> Iterator[Tuple[Hashable, int]]:
+        """All (value, weight) pairs with non-zero weight."""
+        return iter(self._weights.items())
+
+    def clear(self) -> None:
+        """Drop all entries."""
+        self._weights.clear()
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._weights
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+
+def record_deltas(
+    record: UpdateRecord, read: RowReader
+) -> Iterator[Tuple[Sequence[int], int]]:
+    """The weighted row deltas of one committed MVCC log record.
+
+    ``read`` resolves a :class:`~repro.mvcc.manager.RowRef` to the view's
+    column values. Old versions stay readable until defragmentation
+    compacts the delta region, and defrag marks every view for a full
+    resync before that happens, so both sides of an update are always
+    materializable here.
+    """
+    if record.kind == "update":
+        yield read(record.prev_ref), -1
+        yield read(record.new_ref), +1
+    elif record.kind == "insert":
+        yield read(record.new_ref), +1
+    elif record.kind == "delete":
+        yield read(record.prev_ref), -1
+    else:  # pragma: no cover - the log only ever holds the three kinds
+        raise QueryError(f"unknown update-log record kind: {record.kind!r}")

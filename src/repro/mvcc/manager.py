@@ -324,10 +324,35 @@ class MVCCManager:
         return iter(self._log[bisect.bisect_right(self._log_ts, ts) :])
 
     def log_between(self, after_ts: int, upto_ts: int) -> Iterator[UpdateRecord]:
-        """Records with ``after_ts < write_ts <= upto_ts`` (snapshotting)."""
+        """Records with ``after_ts < write_ts <= upto_ts`` (snapshotting).
+
+        An inverted window (``after_ts > upto_ts``) raises — in the
+        snapshot/IVM paths it is always a caller bug (a cursor that ran
+        ahead of the target timestamp), and silently yielding nothing
+        would let a stale view pass for a fresh one.
+        """
+        lo, hi = self._log_window(after_ts, upto_ts)
+        return iter(self._log[lo:hi])
+
+    def log_count_between(self, after_ts: int, upto_ts: int) -> int:
+        """Number of records :meth:`log_between` would yield, in O(log n).
+
+        Cost estimation (e.g. the serve scheduler's apply-deltas vs
+        full-rescan decision) needs the count without materializing or
+        consuming the records.
+        """
+        lo, hi = self._log_window(after_ts, upto_ts)
+        return hi - lo
+
+    def _log_window(self, after_ts: int, upto_ts: int) -> Tuple[int, int]:
+        """Bisect the log slice for ``(after_ts, upto_ts]`` windows."""
+        if after_ts > upto_ts:
+            raise ValueError(
+                f"inverted update-log window: after_ts {after_ts} > upto_ts {upto_ts}"
+            )
         lo = bisect.bisect_right(self._log_ts, after_ts)
         hi = bisect.bisect_right(self._log_ts, upto_ts, lo=lo)
-        return iter(self._log[lo:hi])
+        return lo, hi
 
     @property
     def log_length(self) -> int:

@@ -74,6 +74,9 @@ class ServeConfig:
     max_wait_ns: float = 2_000_000.0
     freshness_sla_txns: int = 64
     tick_ns: float = 10_000.0
+    #: Maintain incremental views and let the scheduler answer flushes
+    #: from them when folding pending deltas beats a full rescan.
+    ivm: bool = False
     slo: SLOTargets = field(default_factory=SLOTargets)
 
     def __post_init__(self) -> None:
@@ -136,6 +139,10 @@ class ServeLoop:
             bucket_rate=config.bucket_rate,
             bucket_capacity=config.bucket_capacity,
         )
+        if config.ivm:
+            # Registers the CH-bench views the sessions will ask for
+            # (initial population is load-time work, before time starts).
+            engine.enable_ivm()
         self.scheduler = HTAPScheduler(
             engine,
             config.tenants,
@@ -144,6 +151,7 @@ class ServeLoop:
             max_wait_ns=config.max_wait_ns,
             freshness_sla_txns=config.freshness_sla_txns,
             tick_ns=config.tick_ns,
+            ivm=config.ivm,
         )
         self.slo = SLOAccounting(config.tenants, config.slo)
         self.now = 0.0
@@ -297,7 +305,13 @@ class ServeLoop:
                     request, dispatched_at - request.submitted_at, False
                 )
         else:
-            result = self.engine.query_batch([r.payload for r in batch])
+            names = [r.payload for r in batch]
+            mode = self.scheduler.choose_olap_mode(names)
+            result = self.engine.query_batch(names, use_ivm=(mode == "ivm"))
+            if mode != "ivm":
+                self.scheduler.note_rescan(
+                    sum(q.total_time for q in result.results), len(names)
+                )
             # Queries inside the batch complete serially after the one
             # shared mode switch; each sees its own completion time.
             self.now += result.switch_time
@@ -309,7 +323,7 @@ class ServeLoop:
         if tel.enabled:
             for request, lag in zip(batch, lags):
                 tel.histogram("serve.freshness.lag_txns").observe(lag)
-        freshness.note_flush()
+        freshness.note_flush(self.now)
         self._maybe_check(force=True)
 
     def _execute(self, action: Action) -> None:
@@ -385,6 +399,7 @@ class ServeLoop:
                 "batch_threshold": cfg.batch_threshold,
                 "max_wait_ns": cfg.max_wait_ns,
                 "freshness_sla_txns": cfg.freshness_sla_txns,
+                "ivm": cfg.ivm,
                 "slo_oltp_ns": cfg.slo.oltp_ns,
                 "slo_olap_ns": cfg.slo.olap_ns,
             },

@@ -18,7 +18,12 @@ from repro.core.engine import PushTapEngine
 from repro.serve.loop import ServeConfig, ServeLoop, ServeResult
 from repro.serve.scheduler import POLICIES
 
-__all__ = ["build_serve_engine", "run_serve", "run_policy_ablation"]
+__all__ = [
+    "build_serve_engine",
+    "run_serve",
+    "run_policy_ablation",
+    "run_ivm_ablation",
+]
 
 
 def build_serve_engine(
@@ -113,4 +118,111 @@ def run_policy_ablation(
         "rates": list(rates),
         "policies": list(policies),
         "cells": cells,
+    }
+
+
+def run_ivm_ablation(
+    seed: int = 7,
+    tenants: int = 4,
+    requests_per_tenant: int = 48,
+    rates: Sequence[float] = (10_000.0, 50_000.0, 200_000.0),
+    olap_fraction: float = 0.25,
+    scale: float = 2e-5,
+    policy: str = "freshness",
+    freshness_sla_txns: int = 8,
+) -> Dict[str, object]:
+    """Arrival rate × {rescan, incremental} sweep at one policy.
+
+    Same isolation discipline as :func:`run_policy_ablation`: every cell
+    rebuilds the engine from ``seed`` and sees identical offered request
+    sequences, so the QphH and snapshot-lag deltas per rate are
+    explained entirely by the per-flush apply-deltas-vs-rescan decision.
+
+    The default cell runs the ``freshness`` policy with a deliberately
+    tight staleness SLA: the flush trigger is then the staleness bound
+    itself, so both modes hold the same max snapshot lag and the sweep
+    isolates what incremental maintenance is for — keeping a tight
+    freshness bound affordable.  (Under count-driven policies the flush
+    cadence is fixed and the lag axis only shows interleaving noise.)
+    """
+    cells = []
+    for rate in rates:
+        for ivm in (False, True):
+            config = ServeConfig(
+                tenants=tenants,
+                requests_per_tenant=requests_per_tenant,
+                policy=policy,
+                seed=seed,
+                arrival="open",
+                rate_per_tenant=rate,
+                olap_fraction=olap_fraction,
+                queue_depth=1_000_000,
+                bucket_rate=0.0,
+                freshness_sla_txns=freshness_sla_txns,
+                ivm=ivm,
+            )
+            result = run_serve(config, scale=scale)
+            r = result.report
+            cells.append(
+                {
+                    "rate_per_tenant": rate,
+                    "mode": "incremental" if ivm else "rescan",
+                    "olap_qphh": r["throughput"]["olap_qphh"],
+                    "olap_qphh_busy": r["throughput"]["olap_qphh_busy"],
+                    "oltp_tpmc": r["throughput"]["oltp_tpmc"],
+                    "olap_time_ns": r["engine"]["olap_time_ns"],
+                    "simulated_time_ns": r["simulated_time_ns"],
+                    "queries": r["engine"]["queries"],
+                    "olap_batches": r["scheduler"]["olap_batches"],
+                    "ivm_flushes": r["scheduler"]["ivm"]["ivm_flushes"],
+                    "rescan_flushes": r["scheduler"]["ivm"]["rescan_flushes"],
+                    "ivm_queries": r["scheduler"]["ivm"]["ivm_queries"],
+                    "max_staleness_txns": r["freshness"]["max_staleness_txns"],
+                    "mean_staleness_txns": r["freshness"]["mean_staleness_txns"],
+                    "max_snapshot_lag_ns": r["freshness"]["max_snapshot_lag_ns"],
+                    "mean_snapshot_lag_ns": r["freshness"]["mean_snapshot_lag_ns"],
+                    "slo_errors": r["slo_errors"],
+                }
+            )
+    # Per-rate deltas: incremental minus rescan, the ablation's headline.
+    deltas = []
+    for rate in rates:
+        rescan = next(
+            c for c in cells
+            if c["rate_per_tenant"] == rate and c["mode"] == "rescan"
+        )
+        incremental = next(
+            c for c in cells
+            if c["rate_per_tenant"] == rate and c["mode"] == "incremental"
+        )
+        deltas.append(
+            {
+                "rate_per_tenant": rate,
+                "olap_qphh_delta": incremental["olap_qphh"] - rescan["olap_qphh"],
+                "olap_qphh_ratio": (
+                    incremental["olap_qphh"] / rescan["olap_qphh"]
+                    if rescan["olap_qphh"]
+                    else 0.0
+                ),
+                "oltp_tpmc_delta": incremental["oltp_tpmc"] - rescan["oltp_tpmc"],
+                "max_staleness_delta": (
+                    incremental["max_staleness_txns"] - rescan["max_staleness_txns"]
+                ),
+                "max_snapshot_lag_delta_ns": (
+                    incremental["max_snapshot_lag_ns"]
+                    - rescan["max_snapshot_lag_ns"]
+                ),
+            }
+        )
+    return {
+        "experiment": "serve-ivm-ablation",
+        "seed": seed,
+        "tenants": tenants,
+        "requests_per_tenant": requests_per_tenant,
+        "olap_fraction": olap_fraction,
+        "policy": policy,
+        "freshness_sla_txns": freshness_sla_txns,
+        "rates": list(rates),
+        "cells": cells,
+        "deltas": deltas,
     }

@@ -57,6 +57,11 @@ class FreshnessTracker:
     *Per-query lag* is how many transactions committed while one query
     sat in the queue (horizon at dispatch minus horizon at arrival) —
     the price a query pays for batching.
+    *Snapshot lag* is the simulated time between consecutive flush
+    completions — how long the analytical horizon trailed the commit
+    horizon.  It is the lag axis the incremental-vs-rescan ablation
+    compares: unlike staleness-at-flush, it is not deflated when a slow
+    rescan backlogs OLAP arrivals into back-to-back flushes.
     """
 
     def __init__(self, oracle: TimestampOracle) -> None:
@@ -65,6 +70,8 @@ class FreshnessTracker:
         self.lag = Histogram("serve.freshness.lag_txns")
         self.staleness_at_flush = Histogram("serve.freshness.staleness_txns")
         self.max_staleness = 0
+        self.last_flush_time = 0.0
+        self.flush_gap = Histogram("serve.freshness.flush_gap_ns")
 
     def staleness(self) -> int:
         """Committed transactions since the last analytical flush."""
@@ -76,20 +83,35 @@ class FreshnessTracker:
         self.lag.observe(lag)
         return lag
 
-    def note_flush(self) -> None:
-        """An analytical flush just ran at the current horizon."""
+    def note_flush(self, now: float = 0.0) -> None:
+        """An analytical flush just completed at simulated time ``now``."""
         staleness = self.staleness()
         self.staleness_at_flush.observe(staleness)
         self.max_staleness = max(self.max_staleness, staleness)
         self.last_snapshot_ts = self.oracle.read_timestamp()
+        self.flush_gap.observe(now - self.last_flush_time)
+        self.last_flush_time = now
         tel = telemetry.active()
         if tel.enabled:
             tel.gauge("serve.freshness.staleness_txns").set(staleness)
 
     def report(self) -> Dict[str, object]:
+        # A run can end before any analytical flush; the mean staleness
+        # is then explicitly 0.0 rather than whatever an empty histogram
+        # yields (a NaN would poison the JSON report downstream).
+        if self.staleness_at_flush.count:
+            mean_staleness = self.staleness_at_flush.mean
+        else:
+            mean_staleness = 0.0
         return {
             "max_staleness_txns": self.max_staleness,
-            "mean_staleness_txns": self.staleness_at_flush.mean,
+            "mean_staleness_txns": mean_staleness,
+            "max_snapshot_lag_ns": (
+                self.flush_gap.max if self.flush_gap.count else 0.0
+            ),
+            "mean_snapshot_lag_ns": (
+                self.flush_gap.mean if self.flush_gap.count else 0.0
+            ),
             "lag_txns": {
                 "count": self.lag.count,
                 "mean": self.lag.mean,
@@ -112,6 +134,12 @@ class SchedulerStats:
     defrag_dispatched: int = 0
     stalls: int = 0
     stall_ticks: int = 0
+    #: Flushes answered by folding view deltas vs by full rescan (the
+    #: per-flush apply-vs-rescan decision; rescan counts non-naive
+    #: flushes even when IVM is disabled).
+    ivm_flushes: int = 0
+    rescan_flushes: int = 0
+    ivm_queries: int = 0
 
 
 @dataclass
@@ -135,6 +163,7 @@ class HTAPScheduler:
         max_wait_ns: float = 2_000_000.0,
         freshness_sla_txns: int = 64,
         tick_ns: float = 10_000.0,
+        ivm: bool = False,
     ) -> None:
         if policy not in POLICIES:
             raise ConfigError(
@@ -158,6 +187,12 @@ class HTAPScheduler:
         self._num_tenants = num_tenants
         #: Dispatch times of queued OLAP requests (set at enqueue).
         self._olap_enqueued_at: Dict[int, float] = {}
+        #: Whether flushes may be answered from incremental views.
+        self.ivm = ivm
+        #: Observed mean per-query rescan time (ns), updated after every
+        #: rescan flush; None until the first flush, which therefore
+        #: always rescans (a deterministic cold-start calibration).
+        self._rescan_query_ns: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Queue entry points
@@ -247,6 +282,45 @@ class HTAPScheduler:
         self.stats.batched_queries += len(batch)
         return Action("olap", batch)
 
+    # ------------------------------------------------------------------
+    # Incremental-vs-rescan flush decision
+    # ------------------------------------------------------------------
+    def choose_olap_mode(self, names: List[str]) -> str:
+        """Per-flush decision: ``"ivm"`` (apply deltas) or ``"rescan"``.
+
+        Applies deltas when the estimated refresh cost — pending log
+        records times the per-record fold cost, from
+        :meth:`~repro.ivm.manager.IVMManager.estimate_refresh_time` —
+        undercuts the observed rescan cost for the batch. The first
+        flush always rescans (no observed rescan cost yet), which also
+        calibrates the comparison from this run's own workload. Both
+        inputs are simulated quantities, so the decision sequence is
+        deterministic.
+        """
+        ivm = self.engine.ivm
+        if not self.ivm or ivm is None or not ivm.covers(names):
+            mode = "rescan"
+        elif self._rescan_query_ns is None:
+            mode = "rescan"
+        else:
+            estimated_ivm = ivm.estimate_refresh_time()
+            estimated_rescan = self._rescan_query_ns * len(names)
+            mode = "ivm" if estimated_ivm < estimated_rescan else "rescan"
+        if mode == "ivm":
+            self.stats.ivm_flushes += 1
+            self.stats.ivm_queries += len(names)
+        else:
+            self.stats.rescan_flushes += 1
+        tel = telemetry.active()
+        if tel.enabled:
+            tel.counter(f"serve.scheduler.{mode}_flushes").inc()
+        return mode
+
+    def note_rescan(self, total_query_time: float, num_queries: int) -> None:
+        """Record a rescan flush's mean per-query time (the cost baseline)."""
+        if num_queries > 0:
+            self._rescan_query_ns = total_query_time / num_queries
+
     def _pop_oltp(self) -> Optional[Action]:
         """Round-robin over tenants with queued transactions."""
         for offset in range(self._num_tenants):
@@ -260,8 +334,17 @@ class HTAPScheduler:
 
     def report(self) -> Dict[str, object]:
         controller = self.engine.controller.stats
+        ivm_section: Dict[str, object] = {
+            "enabled": bool(self.ivm and self.engine.ivm is not None),
+            "ivm_flushes": self.stats.ivm_flushes,
+            "rescan_flushes": self.stats.rescan_flushes,
+            "ivm_queries": self.stats.ivm_queries,
+        }
+        if ivm_section["enabled"]:
+            ivm_section["views"] = self.engine.ivm.report()["views"]
         return {
             "policy": self.policy,
+            "ivm": ivm_section,
             "oltp_dispatched": self.stats.oltp_dispatched,
             "olap_dispatched": self.stats.olap_dispatched,
             "olap_batches": self.stats.olap_batches,

@@ -400,3 +400,81 @@ class TestServeCLI:
             ServeConfig(arrival="open", rate_per_tenant=0.0)
         with pytest.raises(ConfigError):
             HTAPScheduler(None, 1, policy="wishful")
+
+
+# ---------------------------------------------------------------------------
+# Freshness bugfix (ISSUE 6 satellite): no-flush runs report 0.0
+# ---------------------------------------------------------------------------
+class TestFreshnessNoFlush:
+    def test_tracker_report_before_any_flush(self):
+        from repro.mvcc.timestamps import TimestampOracle
+        from repro.serve.scheduler import FreshnessTracker
+
+        tracker = FreshnessTracker(TimestampOracle())
+        report = tracker.report()
+        assert report["mean_staleness_txns"] == 0.0
+        assert report["max_staleness_txns"] == 0
+
+    def test_serve_run_without_olap_reports_zero(self):
+        # olap_fraction=0 means the run ends before any analytical
+        # flush; the freshness report must still be well-formed.
+        result = run_serve(small_config(olap_fraction=0.0))
+        fresh = result.report["freshness"]
+        assert fresh["mean_staleness_txns"] == 0.0
+        assert fresh["max_staleness_txns"] == 0
+        assert result.slo_errors == []
+
+
+# ---------------------------------------------------------------------------
+# Incremental views in the serve loop (ISSUE 6 tentpole)
+# ---------------------------------------------------------------------------
+class TestServeIVM:
+    def test_run_with_ivm_enabled(self):
+        result = run_serve(small_config(ivm=True, olap_fraction=0.3))
+        assert result.slo_errors == []
+        sched = result.report["scheduler"]
+        assert result.report["config"]["ivm"] is True
+        assert sched["ivm"]["enabled"] is True
+        # Every batched flush went through the apply-vs-rescan decision.
+        assert (
+            sched["ivm"]["ivm_flushes"] + sched["ivm"]["rescan_flushes"]
+            == sched["olap_batches"]
+        )
+        assert set(sched["ivm"]["views"]) == {"Q1", "Q6", "Q9"}
+
+    def test_ivm_runs_deterministic(self):
+        import json
+
+        a = run_serve(small_config(ivm=True, olap_fraction=0.3)).report
+        b = run_serve(small_config(ivm=True, olap_fraction=0.3)).report
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_ivm_report_identical_across_perf_modes(self):
+        import json
+
+        from repro import perf
+
+        vec = run_serve(small_config(ivm=True, olap_fraction=0.3)).report
+        with perf.naive_mode():
+            naive = run_serve(small_config(ivm=True, olap_fraction=0.3)).report
+        assert json.dumps(vec, sort_keys=True) == json.dumps(naive, sort_keys=True)
+
+    def test_ablation_incremental_beats_rescan_at_high_rate(self):
+        from repro.serve.runner import run_ivm_ablation
+
+        report = run_ivm_ablation(
+            seed=7,
+            tenants=2,
+            requests_per_tenant=24,
+            rates=(200_000.0,),
+            olap_fraction=0.3,
+        )
+        assert all(not c["slo_errors"] for c in report["cells"])
+        (delta,) = report["deltas"]
+        assert delta["olap_qphh_delta"] > 0
+        assert delta["max_staleness_delta"] <= 0
+        assert delta["max_snapshot_lag_delta_ns"] <= 0
+        incremental = next(
+            c for c in report["cells"] if c["mode"] == "incremental"
+        )
+        assert incremental["ivm_flushes"] > 0

@@ -161,3 +161,31 @@ class TestDefragRebuild:
         assert not data[7]
         assert not snap.visible_delta_rows().any()
         assert snap.last_snapshot_ts == 2
+
+
+class TestIdempotentUpdateTo:
+    def test_repeat_at_same_horizon_is_zero_cost(self):
+        """update_to(ts == last_snapshot_ts) must be a strict no-op."""
+        from repro.core.snapshot import SnapshotCost
+
+        _, mvcc, snap = make()
+        mvcc.update(3, ts=1)
+        first = snap.update_to(1)
+        assert first.records == 1
+        data_before = snap.visible_data_rows()
+        delta_before = snap.visible_delta_rows()
+        again = snap.update_to(1)
+        assert again == SnapshotCost(
+            records=0, bits_flipped=0, metadata_bytes=0, bitmap_bytes=0
+        )
+        assert again.total_cpu_bytes == 0
+        assert snap.last_snapshot_ts == 1
+        np.testing.assert_array_equal(snap.visible_data_rows(), data_before)
+        np.testing.assert_array_equal(snap.visible_delta_rows(), delta_before)
+
+    def test_initial_horizon_is_also_idempotent(self):
+        _, _, snap = make()
+        cost = snap.update_to(0)
+        assert cost.records == 0
+        assert cost.total_cpu_bytes == 0
+        assert cost.bitmap_bytes == 0
