@@ -51,6 +51,7 @@ from repro.workloads.tpcc_gen import generate_table
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.ivm.manager import IVMManager
+    from repro.wal.manager import DurabilityManager
 
 __all__ = ["PushTapEngine", "EngineStats", "OLAPBatchResult"]
 
@@ -122,6 +123,8 @@ class PushTapEngine:
         self.stats = EngineStats()
         #: Optional incremental-view layer (see :meth:`enable_ivm`).
         self.ivm = None
+        #: Optional durability layer (see :meth:`enable_durability`).
+        self.durability = None
         self._txns_since_defrag = 0
         self._defrag_executors: Dict[str, DefragExecutor] = {
             name: DefragExecutor(
@@ -503,9 +506,14 @@ class PushTapEngine:
         if auto_defrag and self.defrag_due():
             self.defragment()
         result = self.oltp.execute(txn)
-        self.stats.transactions += 1
         self.stats.oltp_time += result.total_time
-        self._txns_since_defrag += 1
+        # Committed transactions only: aborted txns roll back all their
+        # writes, so they neither count toward throughput (the PR-2 tpmC
+        # fix) nor age the delta regions toward defragmentation. The
+        # serve loop mirrors exactly this accounting.
+        if not result.aborted:
+            self.stats.transactions += 1
+            self._txns_since_defrag += 1
         return result
 
     def run_transactions(
@@ -630,6 +638,30 @@ class PushTapEngine:
         for name in queries:
             self.ivm.register(name)
         return self.ivm
+
+    def enable_durability(
+        self, path: str, checkpoint_every: int = 0, sync: bool = True
+    ) -> "DurabilityManager":
+        """Attach a write-ahead log (plus leveled checkpoint store) at ``path``.
+
+        Every subsequently committed transaction appends a redo record to
+        ``<path>/wal.log`` before it is counted committed; with
+        ``checkpoint_every > 0``, every that-many commits the accumulated
+        redo state is folded and spilled into the on-disk leveled store
+        and the WAL rotated. Append/fsync and spill costs are charged
+        through the §6.3 flush model into the committing transaction.
+        Returns the manager (also kept as ``self.durability``).
+        """
+        from repro.wal.manager import DurabilityManager
+
+        if self.durability is not None:
+            raise ConfigError("durability is already enabled on this engine")
+        manager = DurabilityManager(
+            self, path, checkpoint_every=checkpoint_every, sync=sync
+        )
+        self.durability = manager
+        self.oltp.durability = manager
+        return manager
 
     def query_ivm(self, name: str) -> QueryResult:
         """Answer a registered view incrementally at the current read ts.

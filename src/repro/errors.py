@@ -61,3 +61,23 @@ class InvariantViolation(ReproError):
     Raised by the fault-injection harness's invariant checker when an
     injected fault corrupted state instead of being absorbed gracefully.
     """
+
+
+class WALError(ReproError):
+    """The write-ahead log or leveled store is corrupt or inconsistent.
+
+    A torn tail (partial final record after a crash) is *not* an error —
+    recovery truncates it. This is raised for corruption that cannot be
+    explained by a single interrupted append, e.g. a bad CRC in the
+    middle of the log or a manifest referencing a missing segment.
+    """
+
+
+class SimulatedCrash(ReproError):
+    """An injected process crash (fault-harness ``crash_*`` hooks).
+
+    Deliberately derives from :class:`ReproError` but not from
+    :class:`TransactionError`: the OLTP engine must *not* treat it as an
+    abort and roll back — a crash kills the process with whatever state
+    has (or has not) reached the write-ahead log.
+    """

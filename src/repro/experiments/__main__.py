@@ -581,6 +581,131 @@ def fault_sweep(argv) -> int:
     return 1 if failed else 0
 
 
+def crash_sweep(argv) -> int:
+    """``crash-sweep``: inject crashes, recover, verify nothing was lost."""
+    import json
+
+    from repro.wal.crash import CRASH_SWEEP_HOOKS, run_crash_sweep
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments crash-sweep",
+        description=(
+            "Drive a WAL-enabled engine into injected crashes "
+            "(before/after the WAL append, mid-checkpoint), recover from "
+            "disk, and assert the InvariantChecker passes and OLAP results "
+            "are bit-identical to a never-crashed reference at the "
+            "recovered commit horizon."
+        ),
+    )
+    parser.add_argument(
+        "--hooks",
+        nargs="+",
+        choices=list(CRASH_SWEEP_HOOKS),
+        default=list(CRASH_SWEEP_HOOKS),
+        help="crash hooks to sweep",
+    )
+    parser.add_argument(
+        "--seed", type=int, nargs="+", default=[1, 2, 3],
+        help="fault/workload seed(s) per hook",
+    )
+    parser.add_argument(
+        "--txns", type=int, default=160, help="transactions per crashed run"
+    )
+    parser.add_argument(
+        "--txns-per-query", type=int, default=20,
+        help="transactions between interleaved OLAP queries (0 disables)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=24,
+        help="commits between checkpoint spills (0 disables checkpoints)",
+    )
+    parser.add_argument("--scale", type=float, default=2e-5, help="CH-benCH scale")
+    parser.add_argument(
+        "--defrag-period", type=int, default=100,
+        help="transactions between defrags",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=None,
+        help="override the per-hook crash probability",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the sweep report to PATH as JSON",
+    )
+    args = parser.parse_args(argv)
+    rows = []
+    cells = []
+    failed = False
+    for hook in args.hooks:
+        for seed in args.seed:
+            result = run_crash_sweep(
+                hook,
+                seed,
+                txns=args.txns,
+                txns_per_query=args.txns_per_query,
+                checkpoint_every=args.checkpoint_every,
+                scale=args.scale,
+                defrag_period=args.defrag_period,
+                rate=args.rate,
+            )
+            cells.append(result.as_dict())
+            rows.append([
+                hook,
+                seed,
+                "yes" if result.crash_fired else "no",
+                result.crashed_at_txn if result.crash_fired else "-",
+                result.horizon,
+                result.checkpoint_horizon,
+                result.segments_applied,
+                result.wal_records_replayed,
+                "yes" if result.torn_tail else "no",
+                "yes" if result.survived else "NO",
+            ])
+            if not result.survived:
+                failed = True
+                if result.error:
+                    print(f"{hook} seed {seed}: {result.error}", file=sys.stderr)
+                for violation in result.violations:
+                    print(
+                        f"{hook} seed {seed}: INVARIANT: {violation}",
+                        file=sys.stderr,
+                    )
+                for mismatch in result.query_mismatches:
+                    print(
+                        f"{hook} seed {seed}: QUERY: {mismatch}", file=sys.stderr
+                    )
+    print(format_table(
+        [
+            "hook", "seed", "crashed", "at txn", "horizon", "ckpt",
+            "segments", "replayed", "torn", "survived",
+        ],
+        rows,
+    ))
+    survived = sum(1 for cell in cells if cell["survived"])
+    print(f"\n{survived}/{len(cells)} cells survived recovery")
+    if args.out:
+        report = {
+            "params": {
+                "hooks": list(args.hooks),
+                "seeds": list(args.seed),
+                "txns": args.txns,
+                "txns_per_query": args.txns_per_query,
+                "checkpoint_every": args.checkpoint_every,
+                "scale": args.scale,
+                "defrag_period": args.defrag_period,
+                "rate": args.rate,
+            },
+            "cells": cells,
+            "survived": survived,
+            "total": len(cells),
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.out}")
+    return 1 if failed else 0
+
+
 def serve(argv) -> int:
     """``serve``: the multi-tenant serving loop (or the policy ablation)."""
     import json
@@ -855,6 +980,8 @@ def main(argv=None) -> int:
         return bench(argv[1:])
     if argv and argv[0] == "serve":
         return serve(argv[1:])
+    if argv and argv[0] == "crash-sweep":
+        return crash_sweep(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's evaluation figures.",

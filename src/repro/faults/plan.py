@@ -37,6 +37,10 @@ __all__ = [
     "CLIENT_DISCONNECT",
     "QUEUE_OVERFLOW",
     "SCHEDULER_STALL",
+    "CRASH_BEFORE_WAL_APPEND",
+    "CRASH_AFTER_WAL_APPEND",
+    "CRASH_MID_CHECKPOINT",
+    "CRASH_HOOKS",
     "FaultRates",
     "FaultPlan",
 ]
@@ -65,6 +69,13 @@ CLIENT_DISCONNECT = "client_disconnect"
 QUEUE_OVERFLOW = "queue_overflow"
 #: Serve: the HTAP scheduler misses its dispatch tick(s); OLAP backs up.
 SCHEDULER_STALL = "scheduler_stall"
+#: Durability: the process dies before the commit record reaches the WAL.
+CRASH_BEFORE_WAL_APPEND = "crash_before_wal_append"
+#: Durability: the process dies right after the WAL append is durable.
+CRASH_AFTER_WAL_APPEND = "crash_after_wal_append"
+#: Durability: the process dies after spilling a checkpoint segment but
+#: before the manifest rename makes it reachable.
+CRASH_MID_CHECKPOINT = "crash_mid_checkpoint"
 
 #: Every hook point threaded through the engine, in documentation order.
 HOOKS: Tuple[str, ...] = (
@@ -80,6 +91,17 @@ HOOKS: Tuple[str, ...] = (
     CLIENT_DISCONNECT,
     QUEUE_OVERFLOW,
     SCHEDULER_STALL,
+    CRASH_BEFORE_WAL_APPEND,
+    CRASH_AFTER_WAL_APPEND,
+    CRASH_MID_CHECKPOINT,
+)
+
+#: The process-death hooks; each kills the run with a
+#: :class:`~repro.errors.SimulatedCrash` instead of a recoverable fault.
+CRASH_HOOKS: Tuple[str, ...] = (
+    CRASH_BEFORE_WAL_APPEND,
+    CRASH_AFTER_WAL_APPEND,
+    CRASH_MID_CHECKPOINT,
 )
 
 

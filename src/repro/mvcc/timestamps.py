@@ -28,6 +28,15 @@ class TimestampOracle:
         """Current read horizon: sees everything committed so far."""
         return self._next - 1
 
+    def advance_to(self, ts: int) -> None:
+        """Fast-forward so ``read_timestamp() >= ts``; never rewinds.
+
+        Used by crash recovery, which applies checkpoint segments and
+        replays WAL records at their *recorded* timestamps and must leave
+        the oracle at the recovered commit horizon.
+        """
+        self._next = max(self._next, int(ts) + 1)
+
     @property
     def last_issued(self) -> int:
         """The most recently issued timestamp (0 if none)."""

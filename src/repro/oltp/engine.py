@@ -130,6 +130,10 @@ class TxnContext:
         self.rows_written = 0
         self._written_lines = 0
         self._undo: list = []
+        #: Logical redo records for the WAL, recorded only when the
+        #: engine has durability enabled (committed transactions only —
+        #: an aborted context's journal is simply discarded).
+        self.ops: list = []
         #: Read-only transactions may publish a computed value here.
         self.result: object = None
 
@@ -192,6 +196,8 @@ class TxnContext:
         # second undo step for the single installed version.
         if runtime.mvcc.chain_length(row_id) > chain_before:
             self._undo.append(lambda: runtime.mvcc.undo_update(row_id))
+        if self.engine.durability is not None:
+            self.ops.append(("update", table, row_id, dict(changes)))
         # Writing a version writes the whole row (new delta row).
         self._account_access(table, None, write=True)
         self.breakdown.compute += self.engine.cost.compute_per_op_ns
@@ -208,6 +214,8 @@ class TxnContext:
         self.breakdown.alloc += self.engine.cost.alloc_ns
         row_id = runtime.insert_row(self.ts, values)
         self._undo.append(lambda: runtime.mvcc.undo_insert(row_id))
+        if self.engine.durability is not None:
+            self.ops.append(("insert", table, row_id, dict(values), index_key))
         self._account_access(table, None, write=True)
         self.breakdown.compute += self.engine.cost.compute_per_op_ns
         self.rows_written += 1
@@ -225,11 +233,19 @@ class TxnContext:
         )
         runtime.mvcc.delete(row_id, self.ts)
         self._undo.append(lambda: runtime.mvcc.undo_delete(row_id))
+        if self.engine.durability is not None:
+            self.ops.append(("delete", table, row_id, index_key))
         self._account_access(table, None, write=True)
         self.breakdown.compute += self.engine.cost.compute_per_op_ns
         self.rows_written += 1
         if index_key is not None:
-            lines = self.engine.db.index(index_key[0]).remove(index_key[1])
+            index = self.engine.db.index(index_key[0])
+            # Capture the entry being removed so rollback can restore it
+            # (an aborted delete must leave the index untouched, exactly
+            # as insert's undo removes the entry it added).
+            removed_row = index.probe(index_key[1]).row_id
+            lines = index.remove(index_key[1])
+            self._undo.append(lambda: index.insert(index_key[1], removed_row))
             self.breakdown.index += (
                 self.engine.cost.index_compute_ns + lines * self.engine.line_ns
             )
@@ -322,6 +338,10 @@ class OLTPEngine:
         self.aborted = 0
         self.total_time = 0.0
         self.breakdown = TxnBreakdown()
+        #: Optional :class:`repro.wal.DurabilityManager`; when set, every
+        #: commit appends a redo record to the write-ahead log and the
+        #: append/fsync cost lands in the transaction's flush phase.
+        self.durability = None
 
     def execute(self, txn: Callable[[TxnContext], None]) -> TxnResult:
         """Run ``txn`` to commit; returns its timing.
@@ -365,6 +385,12 @@ class OLTPEngine:
                 tel.counter("oltp.txn.failed").inc()
             raise
         result = ctx.commit()
+        if self.durability is not None:
+            # Harden the commit: the WAL append (and any checkpoint it
+            # triggers) is charged through the same §6.3 flush model as
+            # the clflush+barrier above. A SimulatedCrash raised by the
+            # crash hooks propagates — a dead process does not roll back.
+            result.breakdown.flush += self.durability.log_commit(ts, ctx.ops)
         self.committed += 1
         self.total_time += result.total_time
         self.breakdown = self.breakdown.merge(result.breakdown)

@@ -90,6 +90,14 @@ class ServeConfig:
             raise ConfigError("open-loop arrivals need rate_per_tenant > 0")
         if self.arrival == "closed" and self.think_ns < 0:
             raise ConfigError("think_ns must be >= 0")
+        if not 0.0 <= self.olap_fraction <= 1.0:
+            raise ConfigError("olap_fraction must be within [0, 1]")
+        if self.queue_depth < 1:
+            raise ConfigError("queue_depth must be >= 1")
+        if self.tick_ns <= 0:
+            raise ConfigError("tick_ns must be > 0")
+        if self.max_wait_ns < 0:
+            raise ConfigError("max_wait_ns must be >= 0")
 
 
 @dataclass
@@ -273,9 +281,16 @@ class ServeLoop:
         # The engine-level counters normally updated by
         # execute_transaction(); the serve loop drives the non-blocking
         # submit/step API directly so defrag stays a scheduler decision.
-        self.engine.stats.transactions += 1
+        # Committed transactions only, matching execute_transaction():
+        # aborted/disconnected txns roll all writes back, so they count
+        # toward neither throughput nor the defrag period. Note the
+        # transaction's total_time already includes the WAL append cost
+        # when durability is enabled, so the simulated clock below
+        # advances over the commit-hardening flush too.
         self.engine.stats.oltp_time += result.total_time
-        self.engine._txns_since_defrag += 1
+        if not result.aborted:
+            self.engine.stats.transactions += 1
+            self.engine._txns_since_defrag += 1
         self.now += result.total_time
         if result.aborted:
             self.sessions[request.tenant].note_abort(txn)
@@ -381,9 +396,9 @@ class ServeLoop:
         errors = self.slo.errors(residual_queued=residual)
         completed = sum(s.completed for s in self.slo.tenants.values())
         stats = self.engine.stats
-        committed = stats.transactions - sum(
-            s.aborted for s in self.slo.tenants.values()
-        ) - self.disconnects
+        # stats.transactions counts committed transactions only (aborts
+        # and disconnects never increment it), so it *is* the tpmC base.
+        committed = stats.transactions
         sim = self.now
         report: Dict[str, object] = {
             "config": {
@@ -393,11 +408,14 @@ class ServeLoop:
                 "seed": cfg.seed,
                 "arrival": cfg.arrival,
                 "rate_per_tenant": cfg.rate_per_tenant,
+                "think_ns": cfg.think_ns,
                 "olap_fraction": cfg.olap_fraction,
                 "queue_depth": cfg.queue_depth,
                 "bucket_rate": cfg.bucket_rate,
+                "bucket_capacity": cfg.bucket_capacity,
                 "batch_threshold": cfg.batch_threshold,
                 "max_wait_ns": cfg.max_wait_ns,
+                "tick_ns": cfg.tick_ns,
                 "freshness_sla_txns": cfg.freshness_sla_txns,
                 "ivm": cfg.ivm,
                 "slo_oltp_ns": cfg.slo.oltp_ns,

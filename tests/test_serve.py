@@ -355,6 +355,44 @@ class TestServeFaults:
         assert result.injected == result.detected
         assert result.checks > 0
 
+    def test_abort_accounting_parity_across_drivers(self):
+        """Regression: the serve loop counted aborted and disconnected
+        transactions into ``engine.stats.transactions`` and the defrag
+        period, diverging from ``execute_transaction`` semantics. Both
+        drivers now count committed transactions only."""
+        from repro.oltp.tpcc import new_order
+
+        # Direct driver: aborts leave the counters untouched.
+        engine = PushTapEngine.build(**ENGINE_KWARGS)
+        driver = engine.make_driver(seed=21)
+        committed = 0
+        for i in range(12):
+            inner = new_order(driver.next_new_order())
+            if i % 3 == 0:
+                def aborting(ctx, _inner=inner):
+                    _inner(ctx)
+                    ctx.abort("parity test")
+                engine.execute_transaction(aborting)
+            else:
+                engine.execute_transaction(inner)
+                committed += 1
+        assert engine.stats.transactions == committed
+        assert engine.stats.transactions == engine.oltp.committed
+        assert engine._txns_since_defrag == committed
+
+        # Serve driver: disconnected (aborted) transactions likewise.
+        faults.install(
+            FaultInjector(FaultPlan(5, FaultRates({CLIENT_DISCONNECT: 0.3})))
+        )
+        serve_engine = PushTapEngine.build(**ENGINE_KWARGS)
+        result = ServeLoop(serve_engine, small_config(olap_fraction=0.0)).run()
+        assert result.disconnects > 0
+        assert serve_engine.stats.transactions == serve_engine.oltp.committed
+        assert (
+            result.report["engine"]["transactions"]
+            == serve_engine.oltp.committed
+        )
+
     def test_sweep_report_carries_seed_and_plan_hash(self):
         rates = FaultRates({CLIENT_DISCONNECT: 0.05})
         result = run_fault_sweep(9, rates, txns_per_query=8, workload="serve")
@@ -400,6 +438,35 @@ class TestServeCLI:
             ServeConfig(arrival="open", rate_per_tenant=0.0)
         with pytest.raises(ConfigError):
             HTAPScheduler(None, 1, policy="wishful")
+
+    def test_config_validates_full_determinism_surface(self):
+        """Regression: out-of-range olap_fraction / queue_depth /
+        tick_ns / max_wait_ns were silently accepted."""
+        with pytest.raises(ConfigError):
+            ServeConfig(olap_fraction=1.5)
+        with pytest.raises(ConfigError):
+            ServeConfig(olap_fraction=-0.1)
+        with pytest.raises(ConfigError):
+            ServeConfig(queue_depth=0)
+        with pytest.raises(ConfigError):
+            ServeConfig(tick_ns=0.0)
+        with pytest.raises(ConfigError):
+            ServeConfig(max_wait_ns=-1.0)
+        # Boundary values are legal.
+        ServeConfig(olap_fraction=0.0)
+        ServeConfig(olap_fraction=1.0)
+        ServeConfig(max_wait_ns=0.0)
+
+    def test_report_config_block_is_complete(self):
+        """Regression: think_ns, bucket_capacity, and tick_ns are part
+        of the determinism surface but were missing from the report."""
+        result = run_serve(small_config())
+        config = result.report["config"]
+        for key in ("think_ns", "bucket_capacity", "tick_ns"):
+            assert key in config, key
+        assert config["think_ns"] == small_config().think_ns
+        assert config["bucket_capacity"] == small_config().bucket_capacity
+        assert config["tick_ns"] == small_config().tick_ns
 
 
 # ---------------------------------------------------------------------------

@@ -81,6 +81,35 @@ class TestAbort:
             engine.oltp.execute(aborting)
         assert engine.query("Q6").rows == reference
 
+    def test_aborted_delete_restores_index_entry(self, fresh_engine):
+        """An aborted delete must re-insert the index entry it removed.
+
+        Regression: ``TxnContext.delete`` registered only ``undo_delete``
+        for the tombstone, never an index undo, so rolling back a
+        Delivery left ``neworder_pk`` permanently missing its keys.
+        """
+        engine = fresh_engine
+        driver = engine.make_driver(seed=10)
+        no_params = driver.next_new_order()
+        engine.execute_transaction(new_order(no_params))
+        d_params = driver.next_delivery()
+        assert d_params is not None
+        before = db_fingerprint(engine)
+        inner = delivery(d_params)
+
+        def aborting(ctx):
+            inner(ctx)
+            ctx.abort("client gave up at the last moment")
+
+        result = engine.oltp.execute(aborting)
+        assert result.aborted
+        for order in d_params.orders:
+            assert engine.db.index("neworder_pk").probe(order.o_id).found
+        assert db_fingerprint(engine) == before
+        # The restored entries are live: retrying the delivery commits.
+        result = engine.execute_transaction(delivery(d_params))
+        assert not result.aborted
+
     def test_aborted_id_reusable_after_rollback(self, fresh_engine):
         """Rolling back an insert removes its index entry, so a retry of
         the same parameters succeeds."""
