@@ -6,11 +6,14 @@ launch-request encoding.
 """
 
 import numpy as np
+import pytest
 
+from repro.bench.micro import run_primitive
 from repro.format.binpack import compact_aligned_layout
 from repro.olap.operators import FilterOperation
 from repro.pim.pim_unit import Condition
 from repro.pim.requests import LaunchRequest, OpType, decode_launch
+from repro.pim.substrate import available_substrates, get_substrate
 from repro.workloads.chbench import all_queries, ch_table, key_columns_for
 
 
@@ -88,3 +91,13 @@ def test_bench_request_codec(benchmark):
 
     decoded = benchmark(roundtrip)
     assert decoded.op == OpType.LS
+
+
+@pytest.mark.parametrize("substrate", available_substrates())
+def test_bench_primitive_scan_per_substrate(benchmark, substrate):
+    """Host-side cost of one PrIM-style scan point on each substrate,
+    plus the roofline acceptance check: streaming stays memory-bound at
+    >=50% of the per-unit ceiling everywhere."""
+    point = benchmark(run_primitive, get_substrate(substrate), "scan", 16384)
+    assert point.bound == "memory"
+    assert point.ceiling_ratio >= 0.5

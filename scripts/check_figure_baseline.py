@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Assert the ddr5 figure pipeline is bit-identical to its baseline.
+
+The substrate refactor (and any later change that is supposed to be
+simulation-neutral on the default substrate) must not move a single bit
+of the paper figures. This regenerates Fig. 8a / 9a / 9b on the default
+``ddr5`` substrate and compares every float exactly against the
+committed ``baselines/fig8_fig9_ddr5.json``.
+
+Exit status 0 on bit-identity, 1 on any drift (drifting keys printed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict
+
+from repro.experiments import fig8, fig9
+
+#: Fig. 9b transaction counts pinned in the baseline (the full default
+#: sweep's 8M-txn point is too slow for a regression gate).
+FIG9B_TXN_COUNTS = (10_000, 1_000_000)
+
+
+def current_figures() -> dict:
+    """Regenerate the gated figure points on the default substrate."""
+    return {
+        "fig8a": [asdict(p) for p in fig8.th_sweep()],
+        "fig9a": [asdict(p) for p in fig9.oltp_comparison()],
+        "fig9b": [asdict(p) for p in fig9.olap_comparison(FIG9B_TXN_COUNTS)],
+    }
+
+
+def diff(baseline: dict, current: dict) -> list:
+    """Exact (bit-identical) comparison; returns human-readable drifts."""
+    drifts = []
+    for figure in sorted(set(baseline) | set(current)):
+        base_points = baseline.get(figure)
+        cur_points = current.get(figure)
+        if base_points is None or cur_points is None:
+            drifts.append(f"{figure}: missing on one side")
+            continue
+        if len(base_points) != len(cur_points):
+            drifts.append(
+                f"{figure}: {len(base_points)} baseline points vs "
+                f"{len(cur_points)} current"
+            )
+            continue
+        for i, (base, cur) in enumerate(zip(base_points, cur_points)):
+            if base != cur:
+                keys = [k for k in base if base.get(k) != cur.get(k)]
+                drifts.append(f"{figure}[{i}]: drift in {', '.join(keys)}")
+    return drifts
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default="baselines/fig8_fig9_ddr5.json",
+        help="committed baseline JSON to compare against",
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="(re)write the baseline from the current pipeline instead",
+    )
+    args = parser.parse_args(argv)
+    current = current_figures()
+    if args.write:
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(current, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline written to {args.baseline}")
+        return 0
+    with open(args.baseline, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    drifts = diff(baseline, current)
+    if drifts:
+        for drift in drifts:
+            print(f"DRIFT: {drift}", file=sys.stderr)
+        return 1
+    print(
+        f"figures bit-identical to {args.baseline} "
+        f"({', '.join(sorted(baseline))})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,14 +18,21 @@ from repro.bench.harness import (
     run_bench,
     simulated_sections,
 )
+from repro.bench.micro import MicroPoint, fit_saturation, run_micro
+from repro.bench.roofline import render_roofline, run_roofline
 
 __all__ = [
     "SIM_SECTIONS",
     "BenchResult",
     "HotPath",
+    "MicroPoint",
     "WorkloadRun",
     "diff_sections",
+    "fit_saturation",
     "micro_benchmarks",
+    "render_roofline",
     "run_bench",
+    "run_micro",
+    "run_roofline",
     "simulated_sections",
 ]

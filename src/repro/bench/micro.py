@@ -1,0 +1,289 @@
+"""PrIM-style single-unit microbenchmarks (roofline observability).
+
+Each primitive drives ONE standalone PIM unit — no executor, no
+controller — through the same functional load/compute methods the OLAP
+operators use, sweeping the operand size. Time and traffic come from the
+unit's own work counters (:class:`~repro.pim.pim_unit.PIMUnitStats`), so
+a point's effective bandwidth is *achieved* bandwidth under the
+substrate's timing model, directly comparable to the substrate's stream
+ceiling. This mirrors the PrIM methodology: measure the primitive in
+isolation first, then explain end-to-end operators as compositions of
+the primitives' rooflines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.pim.device import Device
+from repro.pim.pim_unit import Condition, PIMUnit, uints_to_bytes
+from repro.pim.substrate import Substrate, available_substrates, get_substrate
+from repro.units import ceil_div
+
+__all__ = [
+    "MicroPoint",
+    "PRIMITIVES",
+    "DEFAULT_SIZES",
+    "standalone_unit",
+    "run_primitive",
+    "run_micro",
+    "fit_saturation",
+]
+
+#: Element width of the synthetic operand column (bytes).
+_WIDTH = 4
+#: Rows loaded into WRAM per chunk (16 kB of operand data).
+_CHUNK_ROWS = 4096
+#: Rows per side of one join bucket chunk.
+_JOIN_ROWS = 1024
+#: Bank address of the store/build-side region (past any operand sweep).
+_FAR_REGION = 1 << 19
+
+# WRAM layout shared by the chunked primitives (fits a 64 kB scratchpad).
+_DATA_OFF = 0  # operand chunk, _CHUNK_ROWS * _WIDTH bytes
+_BITMAP_OFF = 16_384  # visibility bitmap, _CHUNK_ROWS / 8 bytes
+_RESULT_OFF = 20_480  # filter result bitmap
+_INDEX_OFF = 24_576  # aggregation group indices (2 B per row)
+_ACC_OFF = 33_792  # aggregation accumulators (8 B per group)
+_HASH2_OFF = 8_192  # join build side (probe side sits at _DATA_OFF)
+_JOIN_OUT_OFF = 16_384  # join match count + pairs
+
+#: Default operand sizes (rows) swept per primitive. Sizes below one
+#: WRAM chunk become a single small transfer, exposing the fixed
+#: activation overhead (the saturation knee); large sizes amortize it.
+DEFAULT_SIZES = (8, 64, 1024, 16384, 65536)
+
+
+@dataclass(frozen=True)
+class MicroPoint:
+    """One (substrate, primitive, size) measurement."""
+
+    substrate: str
+    primitive: str
+    rows: int
+    dram_bytes: int
+    elements: int
+    load_time: float
+    compute_time: float
+    ceiling_bandwidth: float
+    bound: str
+
+    @property
+    def total_time(self) -> float:
+        """Unit-busy time of the sweep point (ns)."""
+        return self.load_time + self.compute_time
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Achieved DRAM bandwidth during load phases, bytes/ns."""
+        return self.dram_bytes / self.load_time if self.load_time else 0.0
+
+    @property
+    def operational_intensity(self) -> float:
+        """Elements processed per DRAM byte moved."""
+        return self.elements / self.dram_bytes if self.dram_bytes else 0.0
+
+    @property
+    def ceiling_ratio(self) -> float:
+        """Achieved bandwidth as a fraction of the substrate ceiling."""
+        if not self.ceiling_bandwidth:
+            return 0.0
+        return self.effective_bandwidth / self.ceiling_bandwidth
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain dict (for JSON snapshots), derived values included."""
+        return {
+            "substrate": self.substrate,
+            "primitive": self.primitive,
+            "rows": self.rows,
+            "dram_bytes": self.dram_bytes,
+            "elements": self.elements,
+            "load_time": self.load_time,
+            "compute_time": self.compute_time,
+            "total_time": self.total_time,
+            "effective_bandwidth": self.effective_bandwidth,
+            "operational_intensity": self.operational_intensity,
+            "ceiling_bandwidth": self.ceiling_bandwidth,
+            "ceiling_ratio": self.ceiling_ratio,
+            "bound": self.bound,
+        }
+
+
+def standalone_unit(substrate: Substrate) -> PIMUnit:
+    """A fresh PIM unit over one bank, configured for ``substrate``."""
+    geometry = substrate.config.geometry
+    num_banks = geometry.banks_per_device
+    # 1 MB per bank — enough for the largest operand sweep plus a
+    # disjoint store region.
+    device = Device(0, num_banks << 20, num_banks=num_banks)
+    return PIMUnit(
+        0,
+        device.banks[0],
+        substrate.config.pim,
+        substrate.config.timings,
+        geometry,
+    )
+
+
+def _operand_values(rows: int) -> np.ndarray:
+    """Deterministic pseudo-random operand values in [0, 2^16)."""
+    idx = np.arange(rows, dtype=np.uint64)
+    return (idx * np.uint64(2654435761)) & np.uint64(0xFFFF)
+
+
+def _prepare_operand(unit: PIMUnit, rows: int) -> None:
+    unit.bank.write(0, uints_to_bytes(_operand_values(rows), _WIDTH))
+
+
+def _ones_bitmap(unit: PIMUnit) -> None:
+    unit.wram_write(_BITMAP_OFF, np.full(_CHUNK_ROWS // 8, 0xFF, dtype=np.uint8))
+
+
+def _chunks(rows: int, chunk_rows: int):
+    for base in range(0, rows, chunk_rows):
+        yield base, min(chunk_rows, rows - base)
+
+
+def _run_copy(unit: PIMUnit, rows: int) -> None:
+    """Stream rows bank→WRAM→bank (the LS phase round trip)."""
+    _prepare_operand(unit, rows)
+    for base, n in _chunks(rows, _CHUNK_ROWS):
+        nbytes = n * _WIDTH
+        unit.load_strided(base * _WIDTH, nbytes, nbytes, nbytes, _DATA_OFF)
+        unit.store_dense(_FAR_REGION + base * _WIDTH, _DATA_OFF, nbytes)
+
+
+def _run_scan(unit: PIMUnit, rows: int) -> None:
+    """Pure streaming read of the operand column."""
+    _prepare_operand(unit, rows)
+    for base, n in _chunks(rows, _CHUNK_ROWS):
+        nbytes = n * _WIDTH
+        unit.load_strided(base * _WIDTH, nbytes, nbytes, nbytes, _DATA_OFF)
+
+
+def _run_filter(unit: PIMUnit, rows: int) -> None:
+    """Predicate scan: load, compare, write the match bitmap back."""
+    _prepare_operand(unit, rows)
+    _ones_bitmap(unit)
+    condition = Condition("lt", 0x8000)  # ~50% selectivity
+    for base, n in _chunks(rows, _CHUNK_ROWS):
+        nbytes = n * _WIDTH
+        unit.load_strided(base * _WIDTH, nbytes, nbytes, nbytes, _DATA_OFF)
+        unit.op_filter(_BITMAP_OFF, _DATA_OFF, _RESULT_OFF, _WIDTH, condition, n)
+        unit.store_dense(_FAR_REGION + base // 8, _RESULT_OFF, ceil_div(n, 8))
+
+
+def _run_aggregate(unit: PIMUnit, rows: int) -> None:
+    """Single-group sum: load, accumulate in WRAM across chunks."""
+    _prepare_operand(unit, rows)
+    _ones_bitmap(unit)
+    unit.wram_write(_INDEX_OFF, np.zeros(_CHUNK_ROWS * 2, dtype=np.uint8))
+    unit.wram_write(_ACC_OFF, np.zeros(8, dtype=np.uint8))
+    for base, n in _chunks(rows, _CHUNK_ROWS):
+        nbytes = n * _WIDTH
+        unit.load_strided(base * _WIDTH, nbytes, nbytes, nbytes, _DATA_OFF)
+        unit.op_aggregation(_BITMAP_OFF, _DATA_OFF, _INDEX_OFF, _ACC_OFF, _WIDTH, n, 1)
+
+
+def _run_join(unit: PIMUnit, rows: int) -> None:
+    """Bucket join: load both hash sides, match pairs in WRAM.
+
+    The build side plants a match every 16th row (high bit set
+    elsewhere), so the pair count stays bounded and deterministic.
+    """
+    idx = np.arange(rows, dtype=np.uint32)
+    probe = idx + np.uint32(1)
+    build = np.where(idx % 16 == 0, probe, idx | np.uint32(1 << 31))
+    unit.bank.write(0, probe.view(np.uint8))
+    unit.bank.write(_FAR_REGION, build.view(np.uint8))
+    for base, n in _chunks(rows, _JOIN_ROWS):
+        nbytes = n * 4
+        unit.load_strided(base * 4, nbytes, nbytes, nbytes, _DATA_OFF)
+        unit.load_strided(_FAR_REGION + base * 4, nbytes, nbytes, nbytes, _HASH2_OFF)
+        unit.op_join(_DATA_OFF, _HASH2_OFF, _JOIN_OUT_OFF, n, n)
+
+
+#: Primitive name → single-unit driver.
+PRIMITIVES: Dict[str, Callable[[PIMUnit, int], None]] = {
+    "copy": _run_copy,
+    "scan": _run_scan,
+    "filter": _run_filter,
+    "aggregate": _run_aggregate,
+    "join": _run_join,
+}
+
+
+def run_primitive(substrate: Substrate, primitive: str, rows: int) -> MicroPoint:
+    """Run one primitive at one size on a fresh unit; returns its point."""
+    try:
+        driver = PRIMITIVES[primitive]
+    except KeyError:
+        raise ConfigError(
+            f"unknown primitive {primitive!r} (known: {', '.join(sorted(PRIMITIVES))})"
+        ) from None
+    if rows <= 0:
+        raise ConfigError(f"primitive sweep size must be positive, got {rows}")
+    unit = standalone_unit(substrate)
+    driver(unit, rows)
+    stats = unit.stats
+    return MicroPoint(
+        substrate=substrate.name,
+        primitive=primitive,
+        rows=rows,
+        dram_bytes=stats.dram_bytes_read + stats.dram_bytes_written,
+        elements=stats.elements_processed,
+        load_time=stats.load_time,
+        compute_time=stats.compute_time,
+        ceiling_bandwidth=substrate.stream_bandwidth_per_unit,
+        bound=Substrate.classify(stats.load_time, stats.compute_time, 0.0),
+    )
+
+
+def run_micro(
+    substrates: Optional[Sequence[str]] = None,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    primitives: Optional[Sequence[str]] = None,
+) -> List[MicroPoint]:
+    """Sweep every (substrate, primitive, size) cell; returns all points."""
+    names = list(substrates) if substrates else available_substrates()
+    prims = list(primitives) if primitives else sorted(PRIMITIVES)
+    points: List[MicroPoint] = []
+    for name in names:
+        substrate = get_substrate(name)
+        for primitive in prims:
+            for rows in sizes:
+                points.append(run_primitive(substrate, primitive, rows))
+    return points
+
+
+def fit_saturation(sizes_bytes: Sequence[float], bandwidths: Sequence[float]) -> Dict[str, float]:
+    """Fit the saturation curve ``bw(s) = B∞ · s / (s + s½)``.
+
+    Linearized as ``1/bw = 1/B∞ + (s½/B∞) · (1/s)`` and solved by least
+    squares: ``B∞`` is the asymptotic bandwidth, ``s½`` the operand size
+    at which half of it is achieved (the fixed-overhead knee).
+    """
+    pairs = [
+        (s, b)
+        for s, b in zip(sizes_bytes, bandwidths)
+        if s > 0 and b > 0
+    ]
+    if len(pairs) < 2:
+        return {"asymptote_bandwidth": 0.0, "half_size_bytes": 0.0}
+    x = 1.0 / np.array([s for s, _ in pairs], dtype=float)
+    y = 1.0 / np.array([b for _, b in pairs], dtype=float)
+    design = np.stack([np.ones_like(x), x], axis=1)
+    coeffs, *_ = np.linalg.lstsq(design, y, rcond=None)
+    intercept, slope = float(coeffs[0]), float(coeffs[1])
+    if intercept <= 0:
+        # Bandwidth did not saturate over the swept range; report the
+        # largest observed point instead of a nonsensical asymptote.
+        return {"asymptote_bandwidth": max(b for _, b in pairs), "half_size_bytes": 0.0}
+    return {
+        "asymptote_bandwidth": 1.0 / intercept,
+        "half_size_bytes": max(slope / intercept, 0.0),
+    }

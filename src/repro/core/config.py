@@ -22,9 +22,15 @@ __all__ = [
     "AreaModel",
     "DDR5_3200_TIMINGS",
     "HBM3_TIMINGS",
+    "LPDDR5X_8533_TIMINGS",
     "dimm_system",
     "hbm_system",
+    "lpddr5x_system",
 ]
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
 
 
 @dataclass(frozen=True)
@@ -49,6 +55,22 @@ class DRAMTimings:
     tRTW: float
     tCS: float
     tREFI: float
+
+    def __post_init__(self) -> None:
+        for name in (
+            "tBURST", "tRCD", "tCL", "tRP", "tRAS", "tRRD", "tRFC",
+            "tWR", "tWTR", "tRTP", "tRTW", "tCS", "tREFI",
+        ):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigError(f"{name} must be non-negative, got {value}")
+        # These two appear as divisors/steps in the analytic model and
+        # would produce zero-time streams or a divide-by-zero refresh
+        # penalty if allowed to be zero.
+        if self.tBURST <= 0:
+            raise ConfigError(f"tBURST must be positive, got {self.tBURST}")
+        if self.tREFI <= 0:
+            raise ConfigError(f"tREFI must be positive, got {self.tREFI}")
 
     def row_hit_read_latency(self) -> float:
         """Latency of a read that hits the open row buffer."""
@@ -101,6 +123,27 @@ HBM3_TIMINGS = DRAMTimings(
     tREFI=2_000.0,
 )
 
+#: LPDDR5X-8533 timings for a mobile-class PIM stack, per the LP5X-PIM
+#: Sim tech note (PAPERS.md). LPDDR5X trades latency for pin bandwidth
+#: and power: BL32 on a x16 device gives a long burst, activate/precharge
+#: are roughly 2x DDR5, and all-bank refresh is amortised over the
+#: standard 3.9 us interval.
+LPDDR5X_8533_TIMINGS = DRAMTimings(
+    tBURST=3.75,
+    tRCD=18.0,
+    tCL=17.0,
+    tRP=18.0,
+    tRAS=42.0,
+    tRRD=7.5,
+    tRFC=210.0,
+    tWR=34.0,
+    tWTR=12.0,
+    tRTP=7.5,
+    tRTW=4.0,
+    tCS=2.0,
+    tREFI=3_906.0,
+)
+
 
 @dataclass(frozen=True)
 class DeviceGeometry:
@@ -122,10 +165,24 @@ class DeviceGeometry:
     def __post_init__(self) -> None:
         if self.devices_per_rank <= 0:
             raise ConfigError("devices_per_rank must be positive")
-        if self.interleave_granularity <= 0:
-            raise ConfigError("interleave_granularity must be positive")
         if self.banks_per_device <= 0:
             raise ConfigError("banks_per_device must be positive")
+        if self.rows_per_bank <= 0:
+            raise ConfigError("rows_per_bank must be positive")
+        if self.columns_per_row <= 0:
+            raise ConfigError("columns_per_row must be positive")
+        # Address interleaving and row-buffer indexing both use these as
+        # power-of-two strides (byte_address // row_buffer_bytes etc.).
+        if not _is_power_of_two(self.interleave_granularity):
+            raise ConfigError(
+                "interleave_granularity must be a positive power of two, "
+                f"got {self.interleave_granularity}"
+            )
+        if not _is_power_of_two(self.row_buffer_bytes):
+            raise ConfigError(
+                "row_buffer_bytes must be a positive power of two, "
+                f"got {self.row_buffer_bytes}"
+            )
 
     @property
     def cache_line_bytes(self) -> int:
@@ -222,7 +279,7 @@ class SystemConfig:
     cpu_channel_bandwidth: float = gb_per_s(25.6)
 
     def __post_init__(self) -> None:
-        if self.memory_kind not in ("dimm", "hbm"):
+        if self.memory_kind not in ("dimm", "hbm", "lpddr5x"):
             raise ConfigError(f"unknown memory kind {self.memory_kind!r}")
         if self.channels <= 0 or self.ranks_per_channel <= 0:
             raise ConfigError("channels and ranks_per_channel must be positive")
@@ -307,5 +364,35 @@ def hbm_system(**overrides) -> SystemConfig:
         # (§7.1): 32 channels x 32 banks = 1024 units.
         pim=PIMUnitConfig(units_per_rank=32),
         cpu_channel_bandwidth=gb_per_s(51.2),
+    )
+    return replace(config, **overrides) if overrides else config
+
+
+def lpddr5x_system(**overrides) -> SystemConfig:
+    """A mobile-class LPDDR5X-PIM system (LP5X-PIM Sim tech note).
+
+    LPDDR5X packages use fewer, wider devices (x16) with more banks per
+    device; a 16 B interleave granularity matches the BL32 burst on the
+    narrow channel. Fewer channels and a lower per-channel CPU bandwidth
+    reflect the mobile memory subsystem. The total bank (= PIM unit)
+    count per rank matches the DIMM system: 4 devices x 16 banks = 64.
+    """
+    geometry = DeviceGeometry(
+        devices_per_rank=4,
+        banks_per_device=16,
+        rows_per_bank=65_536,
+        columns_per_row=1024,
+        interleave_granularity=16,
+        row_buffer_bytes=2048,
+    )
+    config = SystemConfig(
+        name="lpddr5x",
+        memory_kind="lpddr5x",
+        timings=LPDDR5X_8533_TIMINGS,
+        geometry=geometry,
+        channels=8,
+        ranks_per_channel=2,
+        pim=PIMUnitConfig(units_per_rank=64),
+        cpu_channel_bandwidth=gb_per_s(17.1),
     )
     return replace(config, **overrides) if overrides else config

@@ -26,6 +26,12 @@ scheduler, per-tenant SLOs) runs deterministic simulated-time serving::
 
     python -m repro.experiments serve --tenants 4 --policy batched --seed 7
     python -m repro.experiments serve --ablation --out ablation.json
+
+The roofline sweep benchmarks every registered hardware substrate and
+attributes each operator to its bottleneck::
+
+    python -m repro.experiments roofline
+    python -m repro.experiments roofline --substrates ddr5 hbm3 --tag 8
 """
 
 from __future__ import annotations
@@ -479,6 +485,82 @@ def bench(argv) -> int:
             file=sys.stderr,
         )
     return 0 if result.passed else 1
+
+
+def roofline(argv) -> int:
+    """``roofline``: substrate bandwidth ceilings vs achieved operators."""
+    import json
+    import os
+
+    from repro.bench.micro import DEFAULT_SIZES
+    from repro.bench.roofline import (
+        DEFAULT_OPERATOR_SIZES,
+        render_roofline,
+        run_roofline,
+    )
+    from repro.pim.substrate import available_substrates
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments roofline",
+        description=(
+            "Sweep PrIM-style single-unit microbenchmarks and the end-to-"
+            "end OLAP operators across hardware substrates, classify each "
+            "operator as memory/compute/control-bound against the "
+            "substrate's bandwidth ceilings, cross-check the accounting "
+            "against the exported Chrome trace, and write a "
+            "BENCH_<tag>.json roofline snapshot."
+        ),
+    )
+    parser.add_argument(
+        "--substrates",
+        nargs="+",
+        choices=available_substrates(),
+        default=None,
+        help="substrates to sweep (default: all registered)",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_OPERATOR_SIZES),
+        help="table sizes (rows) for the end-to-end operator sweep",
+    )
+    parser.add_argument(
+        "--micro-sizes",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_SIZES),
+        help="operand sizes (rows) for the single-unit microbenchmarks",
+    )
+    parser.add_argument(
+        "--block-rows", type=int, default=256, help="storage block size (rows)"
+    )
+    parser.add_argument("--tag", default="8", help="writes BENCH_<tag>.json")
+    parser.add_argument(
+        "--out-dir", default=".", help="directory for the BENCH_<tag>.json snapshot"
+    )
+    args = parser.parse_args(argv)
+    snapshot = run_roofline(
+        args.substrates,
+        sizes=args.sizes,
+        micro_sizes=args.micro_sizes,
+        block_rows=args.block_rows,
+        tag=args.tag,
+    )
+    print(render_roofline(snapshot))
+    os.makedirs(args.out_dir, exist_ok=True)
+    out_path = os.path.join(args.out_dir, f"BENCH_{args.tag}.json")
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nroofline snapshot written to {out_path}")
+    if not all(check["ok"] for check in snapshot["trace_check"].values()):
+        print(
+            "FAIL: trace-derived bandwidth disagrees with operator accounting",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def fault_sweep(argv) -> int:
@@ -982,6 +1064,8 @@ def main(argv=None) -> int:
         return serve(argv[1:])
     if argv and argv[0] == "crash-sweep":
         return crash_sweep(argv[1:])
+    if argv and argv[0] == "roofline":
+        return roofline(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's evaluation figures.",

@@ -9,7 +9,7 @@ configuration's CPU bandwidth.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,12 +26,14 @@ from repro.olap.operators import (
     RowSlice,
     UnitIndex,
 )
+from repro.olap.cost import scan_bandwidth_per_unit
 from repro.pim.controller import _ControllerBase
 from repro.pim.executor import ExecutionResult, TwoPhaseExecutor
 from repro.pim.pim_unit import Condition
+from repro.pim.substrate import Substrate
 from repro.telemetry import registry as telemetry
 
-__all__ = ["QueryTiming", "OLAPEngine", "CPUFilterResult"]
+__all__ = ["QueryTiming", "OLAPEngine", "OperatorMetrics", "CPUFilterResult"]
 
 
 @dataclass
@@ -46,6 +48,91 @@ class CPUFilterResult:
 
 #: Modelled per-element CPU merge cost (ns) for dictionaries/buckets.
 _CPU_MERGE_NS_PER_ELEMENT = 0.5
+
+
+@dataclass(frozen=True)
+class OperatorMetrics:
+    """Roofline accounting of one operator execution.
+
+    Bandwidths are bytes/ns (= GB/s); ``effective_bandwidth`` is DRAM
+    bytes over the operation's DRAM-busy (load) time, aggregated across
+    the participating units, and ``ceiling_ratio`` relates it to the
+    active substrate's stream ceiling for that many units.
+    """
+
+    operator: str
+    column: str
+    dram_bytes: int
+    elements: int
+    load_time: float
+    compute_time: float
+    control_time: float
+    total_time: float
+    num_units: int
+    ceiling_bandwidth: float
+    bound: str
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Achieved DRAM bandwidth during load phases, bytes/ns."""
+        return self.dram_bytes / self.load_time if self.load_time else 0.0
+
+    @property
+    def operational_intensity(self) -> float:
+        """Elements processed per DRAM byte moved (roofline x-axis)."""
+        return self.elements / self.dram_bytes if self.dram_bytes else 0.0
+
+    @property
+    def ceiling_ratio(self) -> float:
+        """Achieved bandwidth as a fraction of the substrate ceiling."""
+        if not self.ceiling_bandwidth:
+            return 0.0
+        return self.effective_bandwidth / self.ceiling_bandwidth
+
+    @classmethod
+    def from_scan(
+        cls,
+        operator: str,
+        column: str,
+        scan: ExecutionResult,
+        num_units: int,
+        per_unit_ceiling: float,
+    ) -> "OperatorMetrics":
+        """Build metrics from one executor result."""
+        return cls(
+            operator=operator,
+            column=column,
+            dram_bytes=scan.dram_bytes,
+            elements=scan.elements,
+            load_time=scan.load_time,
+            compute_time=scan.compute_time,
+            control_time=scan.control_time,
+            total_time=scan.total_time,
+            num_units=num_units,
+            ceiling_bandwidth=per_unit_ceiling * max(num_units, 0),
+            bound=Substrate.classify(
+                scan.load_time, scan.compute_time, scan.control_time
+            ),
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain dict (for JSON snapshots), derived values included."""
+        return {
+            "operator": self.operator,
+            "column": self.column,
+            "dram_bytes": self.dram_bytes,
+            "elements": self.elements,
+            "load_time": self.load_time,
+            "compute_time": self.compute_time,
+            "control_time": self.control_time,
+            "total_time": self.total_time,
+            "num_units": self.num_units,
+            "ceiling_bandwidth": self.ceiling_bandwidth,
+            "effective_bandwidth": self.effective_bandwidth,
+            "operational_intensity": self.operational_intensity,
+            "ceiling_ratio": self.ceiling_ratio,
+            "bound": self.bound,
+        }
 
 
 @dataclass
@@ -85,6 +172,11 @@ class OLAPEngine:
         self.controller = controller
         self.units = units
         self.executor = TwoPhaseExecutor(controller)
+        #: Per-unit stream-bandwidth ceiling of the active substrate.
+        self.unit_ceiling = scan_bandwidth_per_unit(config)
+        #: Roofline accounting of every operator execution, appended only
+        #: while the telemetry registry's ``roofline`` flag is on.
+        self.roofline_log: List[OperatorMetrics] = []
 
     def _units_for(self, table: TableRuntime) -> UnitIndex:
         """The PIM units of the rank holding ``table``."""
@@ -133,10 +225,35 @@ class OLAPEngine:
         tel.counter("olap.bytes_scanned").inc(getattr(op, "bytes_scanned", 0))
         tel.counter("olap.cpu_transfer_bytes").inc(getattr(op, "cpu_transfer_bytes", 0))
         tel.histogram(f"olap.operator.{operator}.latency_ns").observe(scan.total_time)
+        attrs: Dict[str, object] = {"column": column, "phases": scan.phases}
+        if tel.roofline:
+            metrics = OperatorMetrics.from_scan(
+                operator,
+                column,
+                scan,
+                len(list(op.participating_units())),
+                self.unit_ceiling,
+            )
+            self.roofline_log.append(metrics)
+            attrs.update(
+                dram_bytes=metrics.dram_bytes,
+                eff_gbps=round(metrics.effective_bandwidth, 6),
+                ceiling_ratio=round(metrics.ceiling_ratio, 6),
+                bound=metrics.bound,
+            )
+            tel.counter(f"olap.operator.{operator}.dram_bytes").inc(metrics.dram_bytes)
+            tel.counter(f"olap.operator.{operator}.elements").inc(metrics.elements)
+            tel.counter(f"olap.operator.{operator}.bound.{metrics.bound}").inc()
+            tel.histogram(f"olap.operator.{operator}.eff_gbps").observe(
+                metrics.effective_bandwidth
+            )
+            tel.histogram(f"olap.operator.{operator}.ceiling_ratio").observe(
+                metrics.ceiling_ratio
+            )
         tel.record_span(
             f"olap.operator.{operator}",
             tel.sim_time - start,
-            {"column": column, "phases": scan.phases},
+            attrs,
             start=start,
         )
 
@@ -271,9 +388,28 @@ class OLAPEngine:
         if tel.enabled:
             tel.counter("olap.operator.join.count").inc()
             tel.counter("olap.cpu_transfer_bytes").inc(result.cpu_bytes)
-            tel.record_span(
-                "olap.operator.join", match_time, {"elements": result.pim_elements}
-            )
+            attrs: Dict[str, object] = {"elements": result.pim_elements}
+            if tel.roofline:
+                # Bucket matching is WRAM-resident — no DRAM traffic, so
+                # the join's match step is compute-bound by construction.
+                metrics = OperatorMetrics(
+                    operator="join",
+                    column="",
+                    dram_bytes=0,
+                    elements=result.pim_elements,
+                    load_time=0.0,
+                    compute_time=match_time,
+                    control_time=0.0,
+                    total_time=match_time,
+                    num_units=len(self.units),
+                    ceiling_bandwidth=self.unit_ceiling * len(self.units),
+                    bound="compute",
+                )
+                self.roofline_log.append(metrics)
+                attrs.update(dram_bytes=0, bound="compute")
+                tel.counter("olap.operator.join.elements").inc(result.pim_elements)
+                tel.counter("olap.operator.join.bound.compute").inc()
+            tel.record_span("olap.operator.join", match_time, attrs)
         return result
 
     def cpu_filter(

@@ -20,7 +20,7 @@ from repro.faults import injector as faults
 from repro.faults import plan as fault_plan
 from repro.format.schema import Value
 from repro.oltp.formats import AccessFormatModel
-from repro.pim.timing import random_line_time
+from repro.pim.timing import BankTimingModel, random_line_time
 from repro.telemetry import registry as telemetry
 
 __all__ = [
@@ -170,7 +170,7 @@ class TxnContext:
         # the simulated cost model already charges by touched lines via
         # _account_access; this keeps the *host* cost proportional too.
         row = runtime.read_row(row_id, self.ts, columns)
-        self._account_access(table, columns, write=False)
+        self._account_access(table, columns, write=False, row_id=row_id)
         self.breakdown.compute += self.engine.cost.compute_per_op_ns
         self.rows_read += 1
         return row
@@ -199,7 +199,7 @@ class TxnContext:
         if self.engine.durability is not None:
             self.ops.append(("update", table, row_id, dict(changes)))
         # Writing a version writes the whole row (new delta row).
-        self._account_access(table, None, write=True)
+        self._account_access(table, None, write=True, row_id=row_id)
         self.breakdown.compute += self.engine.cost.compute_per_op_ns
         self.rows_written += 1
 
@@ -216,7 +216,7 @@ class TxnContext:
         self._undo.append(lambda: runtime.mvcc.undo_insert(row_id))
         if self.engine.durability is not None:
             self.ops.append(("insert", table, row_id, dict(values), index_key))
-        self._account_access(table, None, write=True)
+        self._account_access(table, None, write=True, row_id=row_id)
         self.breakdown.compute += self.engine.cost.compute_per_op_ns
         self.rows_written += 1
         if index_key is not None:
@@ -235,7 +235,7 @@ class TxnContext:
         self._undo.append(lambda: runtime.mvcc.undo_delete(row_id))
         if self.engine.durability is not None:
             self.ops.append(("delete", table, row_id, index_key))
-        self._account_access(table, None, write=True)
+        self._account_access(table, None, write=True, row_id=row_id)
         self.breakdown.compute += self.engine.cost.compute_per_op_ns
         self.rows_written += 1
         if index_key is not None:
@@ -261,7 +261,11 @@ class TxnContext:
         self._written_lines = 0
 
     def _account_access(
-        self, table: str, columns: Optional[Sequence[str]], write: bool
+        self,
+        table: str,
+        columns: Optional[Sequence[str]],
+        write: bool,
+        row_id: int = -1,
     ) -> None:
         model = self.engine.format_model
         lines = model.lines_for_row(table, columns)
@@ -271,6 +275,7 @@ class TxnContext:
         )
         if write:
             self._written_lines += lines
+        self.engine.track_rowbuffer(table, row_id, lines, write)
 
     # ------------------------------------------------------------------
     # Commit
@@ -334,6 +339,9 @@ class OLTPEngine:
         self.cost = cost
         #: Modelled latency of one random cache-line access.
         self.line_ns = random_line_time(1, config.timings)
+        #: Per-table row-buffer shadow models (roofline observability).
+        #: Populated lazily while the telemetry ``roofline`` flag is on.
+        self.rowbuffers: Dict[str, BankTimingModel] = {}
         self.committed = 0
         self.aborted = 0
         self.total_time = 0.0
@@ -342,6 +350,26 @@ class OLTPEngine:
         #: commit appends a redo record to the write-ahead log and the
         #: append/fsync cost lands in the transaction's flush phase.
         self.durability = None
+
+    def track_rowbuffer(self, table: str, row_id: int, lines: int, write: bool) -> None:
+        """Feed one row access into the table's row-buffer shadow model.
+
+        Active only while the telemetry registry's ``roofline`` flag is
+        on (zero overhead otherwise). The DRAM row is derived from the
+        row's byte position in the table's base layout — a proxy for the
+        physical placement that preserves locality structure: adjacent
+        row ids share DRAM rows, scattered ones conflict.
+        """
+        tel = telemetry.active()
+        if row_id < 0 or not (tel.enabled and tel.roofline):
+            return
+        model = self.rowbuffers.get(table)
+        if model is None:
+            model = self.rowbuffers[table] = BankTimingModel(self.config.timings)
+        geom = self.config.geometry
+        row_bytes = self.format_model.lines_for_row(table, None) * geom.cache_line_bytes
+        dram_row = (row_id * row_bytes) // geom.row_buffer_bytes
+        model.access(dram_row, lines * geom.cache_line_bytes, write)
 
     def execute(self, txn: Callable[[TxnContext], None]) -> TxnResult:
         """Run ``txn`` to commit; returns its timing.

@@ -94,11 +94,25 @@ class ExecutionResult:
     control_time: float = 0.0
     phases: int = 0
     traces: List[PhaseTrace] = field(default_factory=list)
+    #: DRAM bytes moved (read + written) by the participating units.
+    dram_bytes: int = 0
+    #: Elements pushed through the units' compute pipelines.
+    elements: int = 0
 
     @property
     def control_fraction(self) -> float:
         """Control (mode-switch + messaging) share of total time."""
         return self.control_time / self.total_time if self.total_time else 0.0
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Achieved DRAM bandwidth over the operation's total time (B/ns)."""
+        return self.dram_bytes / self.total_time if self.total_time else 0.0
+
+    @property
+    def operational_intensity(self) -> float:
+        """Elements processed per DRAM byte moved (roofline x-axis)."""
+        return self.elements / self.dram_bytes if self.dram_bytes else 0.0
 
     def merge(self, other: "ExecutionResult") -> "ExecutionResult":
         """Concatenate two results (serial composition)."""
@@ -110,6 +124,8 @@ class ExecutionResult:
             control_time=self.control_time + other.control_time,
             phases=self.phases + other.phases,
             traces=self.traces + other.traces,
+            dram_bytes=self.dram_bytes + other.dram_bytes,
+            elements=self.elements + other.elements,
         )
 
 
@@ -179,6 +195,10 @@ class TwoPhaseExecutor:
         if not units:
             raise QueryError("chunked operation has no participating units")
         result = ExecutionResult()
+        bytes_before = sum(
+            u.stats.dram_bytes_read + u.stats.dram_bytes_written for u in units
+        )
+        elements_before = sum(u.stats.elements_processed for u in units)
         blocking_compute = self.controller.locks_banks_during_compute
         tel = telemetry.active()
         # The controller records its own pim.control spans as launches and
@@ -294,6 +314,11 @@ class TwoPhaseExecutor:
         result.total_time += end_cost.total
         result.control_time += end_cost.total
         result.cpu_blocked_time += end_cost.total
+        result.dram_bytes = (
+            sum(u.stats.dram_bytes_read + u.stats.dram_bytes_written for u in units)
+            - bytes_before
+        )
+        result.elements = sum(u.stats.elements_processed for u in units) - elements_before
         if tel.enabled:
             tel.counter("pim.executor.offloads").inc()
         return result

@@ -25,7 +25,8 @@ from repro import perf
 from repro.core.config import DRAMTimings, DeviceGeometry, PIMUnitConfig
 from repro.errors import MemoryError_, ProtocolError
 from repro.pim.device import Bank
-from repro.pim.timing import stream_time
+from repro.pim.timing import BankTimingModel, stream_time
+from repro.telemetry import registry as telemetry
 from repro.units import ceil_div
 
 __all__ = ["PIMUnit", "PIMUnitStats", "bytes_to_uints", "uints_to_bytes", "Condition"]
@@ -171,6 +172,55 @@ class PIMUnit:
         self.wram = np.zeros(config.wram_bytes, dtype=np.uint8)
         self.stats = PIMUnitStats()
         self.busy = False
+        #: Row-buffer shadow model (hit/miss/conflict accounting for this
+        #: bank's DRAM traffic). Created lazily on the first tracked
+        #: access while the telemetry registry's ``roofline`` flag is on;
+        #: stays ``None`` — zero overhead — otherwise.
+        self.rowbuffer: "BankTimingModel | None" = None
+
+    # ------------------------------------------------------------------
+    # Row-buffer shadow tracking (roofline observability)
+    # ------------------------------------------------------------------
+    def _track_rows(
+        self, dram_addr: int, span: int, write: bool = False, moved: "int | None" = None
+    ) -> None:
+        """Feed one contiguous bank access into the row-buffer shadow.
+
+        ``span`` is the address range touched; ``moved`` the bytes
+        actually transferred (defaults to the span). The span is
+        collapsed to one access per touched DRAM row — a streaming
+        access opens each row once — with the transferred bytes charged
+        to the run as a whole.
+        """
+        tel = telemetry.active()
+        if not (tel.enabled and tel.roofline) or span <= 0:
+            return
+        if self.rowbuffer is None:
+            self.rowbuffer = BankTimingModel(self.timings)
+        rb = self.geometry.row_buffer_bytes
+        first = dram_addr // rb
+        last = (dram_addr + span - 1) // rb
+        moved = span if moved is None else moved
+        for row in range(first, last + 1):
+            self.rowbuffer.access(row, moved if row == first else 0, write)
+
+    def _track_row_list(self, addrs, width: int, write: bool = False) -> None:
+        """Feed scattered row-granularity accesses into the shadow model."""
+        tel = telemetry.active()
+        if not (tel.enabled and tel.roofline) or len(addrs) == 0:
+            return
+        if self.rowbuffer is None:
+            self.rowbuffer = BankTimingModel(self.timings)
+        rb = self.geometry.row_buffer_bytes
+        rows = np.asarray(addrs, dtype=np.int64) // rb
+        # Collapse consecutive repeats: same-row back-to-back accesses
+        # would all be hits, which one access already represents.
+        keep = np.ones(len(rows), dtype=bool)
+        keep[1:] = rows[1:] != rows[:-1]
+        collapsed = rows[keep]
+        per_access = len(addrs) * max(width, 1) // max(len(collapsed), 1)
+        for row in collapsed:
+            self.rowbuffer.access(int(row), per_access, write)
 
     # ------------------------------------------------------------------
     # WRAM access
@@ -245,8 +295,11 @@ class PIMUnit:
         granule = self.config.access_granularity
         if stride == chunk:
             moved = max(length, granule)
+            span = length
         else:
             moved = pieces * max(granule, chunk)
+            span = (pieces - 1) * stride + chunk
+        self._track_rows(dram_addr, span, moved=moved)
         time = self._dram_time(moved)
         self.stats.dram_bytes_read += moved
         self.stats.load_time += time
@@ -264,6 +317,7 @@ class PIMUnit:
         self._check_wram(wram_offset, length)
         self.bank.write(dram_addr, self.wram[wram_offset : wram_offset + length])
         granule = self.config.access_granularity
+        self._track_rows(dram_addr, length, write=True, moved=max(length, granule))
         time = self._dram_time(max(length, granule))
         self.stats.dram_bytes_written += max(length, granule)
         self.stats.load_time += time
@@ -437,6 +491,8 @@ class PIMUnit:
             for src_a, dst_a in zip(src_addrs, dst_addrs):
                 self.bank.write(int(dst_a), self.bank.read(int(src_a), width))
         granule = self.config.access_granularity
+        self._track_row_list(src_addrs, max(width, granule), write=False)
+        self._track_row_list(dst_addrs, max(width, granule), write=True)
         moved = 2 * len(src_addrs) * max(width, granule)
         time = self._dram_time(moved)
         self.stats.dram_bytes_read += moved // 2

@@ -68,6 +68,12 @@ class MetricsRegistry:
         #: (e.g. per-PIM-unit load/compute) that are too voluminous for
         #: ordinary metric dumps. The profiler turns this on.
         self.detail_spans = False
+        #: When true, instrumented layers emit roofline accounting —
+        #: per-operator bandwidth/op-intensity counters, extended span
+        #: attributes, and row-buffer shadow tracking. Off by default so
+        #: committed BENCH baselines (exact key diffs) stay bit-identical;
+        #: the ``roofline`` subcommand and report-metrics turn it on.
+        self.roofline = False
 
     # ------------------------------------------------------------------
     # Metric access (create-on-first-use)
@@ -186,6 +192,7 @@ class NoopRegistry:
     sim_time = 0.0
     max_histogram_samples = None
     detail_spans = False
+    roofline = False
 
     def counter(self, name: str) -> "Counter":
         """The shared null counter."""

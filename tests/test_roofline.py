@@ -1,0 +1,282 @@
+"""Roofline observability: accounting, gating, microbenchmarks, sweep."""
+
+import pytest
+
+from repro import telemetry
+from repro.bench.micro import (
+    DEFAULT_SIZES,
+    PRIMITIVES,
+    fit_saturation,
+    run_micro,
+    run_primitive,
+)
+from repro.bench.roofline import (
+    _build_engine,
+    render_roofline,
+    run_roofline,
+)
+from repro.errors import ConfigError
+from repro.olap.engine import OperatorMetrics, QueryTiming
+from repro.olap.operators import RegionRows
+from repro.pim.pim_unit import Condition
+from repro.pim.substrate import available_substrates, get_substrate
+from repro.telemetry.export import render_report
+from repro.telemetry.registry import MetricsRegistry
+
+ROWS = 1024
+
+
+@pytest.fixture
+def roofline_registry():
+    registry = MetricsRegistry()
+    registry.roofline = True
+    telemetry.enable(registry)
+    yield registry
+    telemetry.disable()
+
+
+@pytest.fixture
+def plain_registry():
+    registry = MetricsRegistry()
+    telemetry.enable(registry)
+    yield registry
+    telemetry.disable()
+
+
+def _engine(substrate_name="ddr5", rows=ROWS):
+    return _build_engine(get_substrate(substrate_name), rows, block_rows=256)
+
+
+def _run_filter(engine, rows=ROWS):
+    table = engine.table("points")
+    ts = engine.db.oracle.read_timestamp()
+    table.snapshots.update_to(ts)
+    timing = QueryTiming()
+    engine.olap.filter(
+        table, "v", Condition("lt", 32768), timing, RegionRows(data_rows=rows)
+    )
+    return timing
+
+
+class TestMicro:
+    @pytest.mark.parametrize("substrate", ["ddr5", "hbm3", "lpddr5x-pim"])
+    def test_scan_and_filter_memory_bound_at_large_sizes(self, substrate):
+        """Acceptance: streaming primitives hit >=50% of the ceiling."""
+        sub = get_substrate(substrate)
+        for primitive in ("scan", "filter"):
+            point = run_primitive(sub, primitive, 16384)
+            assert point.bound == "memory"
+            assert point.ceiling_ratio >= 0.5
+
+    def test_all_primitives_move_bytes(self):
+        sub = get_substrate("ddr5")
+        for primitive in PRIMITIVES:
+            point = run_primitive(sub, primitive, 64)
+            assert point.dram_bytes > 0
+            assert point.load_time > 0
+            assert point.effective_bandwidth > 0
+
+    def test_sweep_covers_all_cells(self):
+        points = run_micro(["ddr5"], sizes=(8, 64), primitives=["scan", "copy"])
+        cells = {(p.primitive, p.rows) for p in points}
+        assert cells == {("scan", 8), ("scan", 64), ("copy", 8), ("copy", 64)}
+
+    def test_bandwidth_never_exceeds_unit_port(self):
+        sub = get_substrate("lpddr5x-pim")
+        for rows in DEFAULT_SIZES:
+            point = run_primitive(sub, "scan", rows)
+            assert point.effective_bandwidth <= sub.config.pim.dram_bandwidth + 1e-9
+
+    def test_saturation_knee_small_transfers_slower(self):
+        sub = get_substrate("lpddr5x-pim")
+        small = run_primitive(sub, "filter", 8)
+        large = run_primitive(sub, "filter", 16384)
+        assert small.effective_bandwidth < large.effective_bandwidth
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(ConfigError, match="unknown primitive"):
+            run_primitive(get_substrate("ddr5"), "sort", 64)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ConfigError, match="positive"):
+            run_primitive(get_substrate("ddr5"), "scan", 0)
+
+    def test_point_dict_round_trips_derived_values(self):
+        point = run_primitive(get_substrate("ddr5"), "scan", 64)
+        d = point.as_dict()
+        assert d["effective_bandwidth"] == pytest.approx(point.effective_bandwidth)
+        assert d["ceiling_ratio"] == pytest.approx(point.ceiling_ratio)
+        assert d["bound"] == point.bound
+
+
+class TestFitSaturation:
+    def test_recovers_synthetic_curve(self):
+        b_inf, s_half = 2.0, 512.0
+        sizes = [64.0, 256.0, 1024.0, 8192.0, 65536.0]
+        bws = [b_inf * s / (s + s_half) for s in sizes]
+        fit = fit_saturation(sizes, bws)
+        assert fit["asymptote_bandwidth"] == pytest.approx(b_inf, rel=1e-6)
+        assert fit["half_size_bytes"] == pytest.approx(s_half, rel=1e-6)
+
+    def test_flat_curve_fits_constant(self):
+        fit = fit_saturation([64.0, 1024.0, 65536.0], [1.0, 1.0, 1.0])
+        assert fit["asymptote_bandwidth"] == pytest.approx(1.0)
+        assert fit["half_size_bytes"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_degenerate_input_safe(self):
+        assert fit_saturation([], [])["asymptote_bandwidth"] == 0.0
+        assert fit_saturation([64.0], [1.0])["asymptote_bandwidth"] == 0.0
+
+
+class TestOperatorAccounting:
+    def test_execution_result_counts_bytes_and_elements(self, roofline_registry):
+        engine = _engine()
+        _run_filter(engine)
+        assert len(engine.olap.roofline_log) == 1
+        metrics = engine.olap.roofline_log[0]
+        assert metrics.operator == "filter"
+        # Every row's 4-byte value is streamed at least once; the
+        # snapshot bitmap rides along, so bytes >= the column footprint.
+        assert metrics.dram_bytes >= ROWS * 4
+        assert metrics.elements == ROWS
+        assert metrics.load_time > 0
+        assert 0 < metrics.effective_bandwidth <= metrics.ceiling_bandwidth * 1.25
+        assert metrics.bound in ("memory", "compute", "control")
+
+    def test_span_carries_roofline_attrs(self, roofline_registry):
+        engine = _engine()
+        _run_filter(engine)
+        spans = [s for s in roofline_registry.spans if s.name == "olap.operator.filter"]
+        assert spans
+        attrs = dict(spans[-1].attrs)
+        assert attrs["dram_bytes"] > 0
+        assert attrs["eff_gbps"] > 0
+        assert attrs["bound"] in ("memory", "compute", "control")
+
+    def test_gated_counters_present_when_on(self, roofline_registry):
+        engine = _engine()
+        _run_filter(engine)
+        names = set(roofline_registry.counters)
+        assert "olap.operator.filter.dram_bytes" in names
+        assert "olap.operator.filter.elements" in names
+        assert any(n.startswith("olap.operator.filter.bound.") for n in names)
+
+    def test_everything_gated_off_by_default(self, plain_registry):
+        """With roofline off, telemetry keys must match the pre-refactor
+        set — the BENCH baseline bit-identity contract."""
+        engine = _engine()
+        _run_filter(engine)
+        assert engine.olap.roofline_log == []
+        assert not any(
+            ".dram_bytes" in n or ".rowbuffer." in n for n in plain_registry.counters
+        )
+        spans = [s for s in plain_registry.spans if s.name == "olap.operator.filter"]
+        assert spans and "dram_bytes" not in dict(spans[-1].attrs)
+
+    def test_metrics_from_scan_classifies(self):
+        from repro.pim.executor import ExecutionResult
+
+        scan = ExecutionResult(
+            total_time=10.0, load_time=6.0, compute_time=3.0, control_time=1.0,
+            dram_bytes=600, elements=150,
+        )
+        metrics = OperatorMetrics.from_scan("filter", "v", scan, 4, 1.0)
+        assert metrics.bound == "memory"
+        assert metrics.effective_bandwidth == pytest.approx(100.0)
+        assert metrics.operational_intensity == pytest.approx(0.25)
+        assert metrics.ceiling_bandwidth == pytest.approx(4.0)
+
+
+class TestRowBufferTelemetry:
+    def test_pim_lanes_published_and_drained(self, roofline_registry):
+        engine = _engine()
+        _run_filter(engine)
+        engine.publish_rowbuffer_telemetry()
+        lanes = {
+            n: c.value
+            for n, c in roofline_registry.counters.items()
+            if n.startswith("pim.rowbuffer.")
+        }
+        assert lanes
+        assert any(n.endswith(".misses") and v > 0 for n, v in lanes.items())
+        assert any(n.endswith(".bytes") and v > 0 for n, v in lanes.items())
+        # Draining: republishing without new traffic adds nothing.
+        engine.publish_rowbuffer_telemetry()
+        after = {
+            n: c.value
+            for n, c in roofline_registry.counters.items()
+            if n.startswith("pim.rowbuffer.")
+        }
+        assert after == lanes
+
+    def test_oltp_lane_tracks_row_accesses(self, roofline_registry):
+        engine = _engine()
+        engine.oltp.execute(lambda ctx: ctx.read("points", 5))
+        engine.oltp.execute(lambda ctx: ctx.read("points", 5))
+        engine.publish_rowbuffer_telemetry()
+        hits = roofline_registry.counters.get("oltp.rowbuffer.points.hits")
+        misses = roofline_registry.counters.get("oltp.rowbuffer.points.misses")
+        assert misses is not None and misses.value >= 1
+        assert hits is not None and hits.value >= 1
+
+    def test_shadow_models_off_without_flag(self, plain_registry):
+        engine = _engine()
+        _run_filter(engine)
+        engine.oltp.execute(lambda ctx: ctx.read("points", 5))
+        assert all(unit.rowbuffer is None for unit in engine.units.values())
+        assert engine.oltp.rowbuffers == {}
+
+    def test_report_renders_rowbuffer_section(self, roofline_registry):
+        engine = _engine()
+        _run_filter(engine)
+        engine.publish_rowbuffer_telemetry()
+        report = render_report(roofline_registry)
+        assert "row buffer (per lane):" in report
+        assert "pim.rowbuffer." in report
+
+
+class TestRooflineSweep:
+    @pytest.fixture(scope="class")
+    def snapshot(self):
+        return run_roofline(
+            ["ddr5", "lpddr5x-pim"], sizes=(512, 1024), micro_sizes=(8, 256)
+        )
+
+    def test_snapshot_shape(self, snapshot):
+        assert snapshot["bench_roofline_version"] == 1
+        for key in ("substrates", "micro", "fits", "operators", "bottlenecks",
+                    "rowbuffer", "trace_check"):
+            assert set(snapshot[key]) == {"ddr5", "lpddr5x-pim"}
+
+    def test_operator_sweep_covers_suite(self, snapshot):
+        operators = {o["operator"] for o in snapshot["operators"]["ddr5"]}
+        assert {"filter", "group", "aggregate", "hash", "join"} <= operators
+
+    def test_trace_consistency_within_one_percent(self, snapshot):
+        """Acceptance: operator bandwidth re-derived from the Chrome
+        trace agrees with the accounting within +-1%."""
+        for name, check in snapshot["trace_check"].items():
+            assert check["checked"] > 0, name
+            assert check["ok"], (name, check)
+            assert check["max_rel_err"] <= 0.01
+
+    def test_bottlenecks_ranked_by_time_share(self, snapshot):
+        for ranked in snapshot["bottlenecks"].values():
+            shares = [e["time_share"] for e in ranked]
+            assert shares == sorted(shares, reverse=True)
+            assert sum(shares) == pytest.approx(1.0)
+
+    def test_render_mentions_every_substrate(self, snapshot):
+        text = render_roofline(snapshot)
+        assert "== ddr5" in text and "== lpddr5x-pim" in text
+        assert "trace consistency" in text
+
+    def test_telemetry_left_disabled(self, snapshot):
+        assert not telemetry.enabled()
+
+    def test_defaults_cover_all_substrates(self):
+        from repro.bench.roofline import DEFAULT_OPERATOR_SIZES
+
+        assert len(DEFAULT_OPERATOR_SIZES) >= 2
+        # run_roofline(None) sweeps every registered substrate.
+        assert set(available_substrates()) >= {"ddr5", "hbm3", "lpddr5x-pim"}

@@ -114,3 +114,48 @@ class TestEffectiveStreamBandwidth:
         bw = effective_stream_bandwidth(DDR5_3200_TIMINGS, GEOM)
         # One 8 B burst per tBURST is the hard ceiling.
         assert 0 < bw <= 8 / DDR5_3200_TIMINGS.tBURST
+
+
+class TestTimingEdgeCases:
+    """Roofline PR: sensitivity of the closed-form timing model."""
+
+    def test_finer_granularity_never_faster(self):
+        coarse = stream_time(1 << 12, DDR5_3200_TIMINGS, GEOM, access_granularity=8)
+        fine = stream_time(1 << 12, DDR5_3200_TIMINGS, GEOM, access_granularity=1)
+        assert fine >= coarse
+
+    def test_refresh_dominated_part_streams_slower(self):
+        from dataclasses import replace
+
+        hungry = replace(DDR5_3200_TIMINGS, tRFC=DDR5_3200_TIMINGS.tREFI * 0.5)
+        assert effective_stream_bandwidth(hungry, GEOM) < effective_stream_bandwidth(
+            DDR5_3200_TIMINGS, GEOM
+        )
+        assert random_line_time(64, hungry) > random_line_time(64, DDR5_3200_TIMINGS)
+
+    def test_bigger_row_buffer_never_hurts_bandwidth(self):
+        from dataclasses import replace
+
+        small = replace(GEOM, row_buffer_bytes=GEOM.row_buffer_bytes // 2)
+        big = replace(GEOM, row_buffer_bytes=GEOM.row_buffer_bytes * 2)
+        assert effective_stream_bandwidth(
+            DDR5_3200_TIMINGS, big
+        ) >= effective_stream_bandwidth(DDR5_3200_TIMINGS, small)
+
+    def test_all_hit_random_line_matches_hit_latency(self):
+        expected = (
+            100
+            * DDR5_3200_TIMINGS.row_hit_read_latency()
+            * (1.0 + DDR5_3200_TIMINGS.refresh_utilization_penalty())
+        )
+        assert random_line_time(100, DDR5_3200_TIMINGS, hit_rate=1.0) == pytest.approx(
+            expected
+        )
+
+    def test_stream_bandwidth_invariant_to_probe_scale(self):
+        # Bandwidth is measured on a probe large enough to amortize
+        # activations; doubling the probe barely moves the answer.
+        probe = GEOM.row_buffer_bytes * 16
+        direct = probe / stream_time(probe, DDR5_3200_TIMINGS, GEOM)
+        double = (2 * probe) / stream_time(2 * probe, DDR5_3200_TIMINGS, GEOM)
+        assert direct == pytest.approx(double, rel=0.01)
