@@ -1,0 +1,71 @@
+"""Scatter-gather OLAP: merging per-shard query partials.
+
+The paper's three representative queries all decompose over a warehouse
+partition: Q1's grouped sums, Q6's filtered sum, and Q9's join revenue
+are additive across disjoint ORDERLINE partitions (Q9's ITEM build side
+is replicated on every shard, so each shard's join is complete over its
+own order lines). The merge is integer addition, so the merged rows are
+*bit-identical* to a single engine scanning the union of the data — the
+cluster acceptance property the tests compare dict-for-dict.
+
+The gather itself is modelled as one partial-result transfer per remote
+shard over the cluster interconnect; shard scans run in parallel, so a
+scatter-gather query's latency is the slowest shard plus the gather.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.errors import QueryError
+from repro.olap.queries import QueryResult
+
+__all__ = ["MERGEABLE_QUERIES", "merge_rows", "ClusterQueryResult"]
+
+#: Queries the cluster can scatter-gather (additive partials).
+MERGEABLE_QUERIES = ("Q1", "Q6", "Q9")
+
+
+def merge_rows(name: str, shard_rows: Sequence[Dict]) -> Dict:
+    """Merge per-shard result rows into the union-of-data result."""
+    if name == "Q1":
+        merged: Dict = {}
+        for rows in shard_rows:
+            for key, agg in rows.items():
+                acc = merged.get(key)
+                if acc is None:
+                    merged[key] = dict(agg)
+                else:
+                    acc["sum_qty"] += agg["sum_qty"]
+                    acc["sum_amount"] += agg["sum_amount"]
+                    acc["count"] += agg["count"]
+        return {key: merged[key] for key in sorted(merged)}
+    if name == "Q6":
+        return {"revenue": sum(int(rows.get("revenue", 0)) for rows in shard_rows)}
+    if name == "Q9":
+        return {
+            "revenue": sum(int(rows.get("revenue", 0)) for rows in shard_rows),
+            "matches": sum(int(rows.get("matches", 0)) for rows in shard_rows),
+        }
+    raise QueryError(
+        f"query {name!r} is not cluster-mergeable "
+        f"(supported: {', '.join(MERGEABLE_QUERIES)})"
+    )
+
+
+@dataclass
+class ClusterQueryResult:
+    """Merged rows and timing of one scatter-gather query."""
+
+    name: str
+    rows: Dict = field(default_factory=dict)
+    shard_results: List[QueryResult] = field(default_factory=list)
+    #: Interconnect time gathering the partials (0 on a 1-shard cluster).
+    gather_time: float = 0.0
+
+    @property
+    def total_time(self) -> float:
+        """Client latency: slowest shard scan plus the gather (ns)."""
+        slowest = max((r.total_time for r in self.shard_results), default=0.0)
+        return slowest + self.gather_time

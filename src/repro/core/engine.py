@@ -158,6 +158,8 @@ class PushTapEngine:
         circulant: bool = True,
         ranks: int = 1,
         cost: Optional[CostParams] = None,
+        counts: Optional[Dict[str, int]] = None,
+        row_filter: Optional[Callable[[str, Dict], bool]] = None,
     ) -> "PushTapEngine":
         """Build a loaded engine over the CH-benCHmark database.
 
@@ -171,12 +173,19 @@ class PushTapEngine:
         ``ranks`` simulates more than one PIM rank — the paper's third
         access dimension (§1) — with tables assigned round-robin by
         footprint, each scanned by its own rank's PIM units.
+
+        ``counts`` overrides the per-table row counts derived from
+        ``scale`` (the cluster layer uses this to pin the warehouse
+        count independently of the data volume); ``row_filter`` keeps
+        only the generated rows it accepts — a shard engine loads the
+        same deterministic global stream but retains only its partition,
+        with capacities and MVCC sized to the retained rows.
         """
         config = config or dimm_system()
         query_set = list(queries) if queries is not None else all_queries()
         schemas = ch_schema()
         names = list(tables) if tables is not None else list(schemas)
-        counts = row_counts(scale)
+        counts = dict(counts) if counts is not None else row_counts(scale)
 
         layouts: Dict[str, UnifiedLayout] = {}
         for name in names:
@@ -185,9 +194,27 @@ class PushTapEngine:
                 schemas[name], keys, config.geometry.devices_per_rank, th
             )
 
+        if row_filter is None:
+            rows_by_table = None
+            effective_counts = counts
+        else:
+            rows_by_table = {
+                name: [
+                    values
+                    for values in generate_table(name, counts, seed)
+                    if row_filter(name, values)
+                ]
+                for name in names
+            }
+            effective_counts = {
+                name: len(rows_by_table[name]) for name in names
+            }
+
         capacities = {
             name: round_up(
-                max(int(counts[name] * insert_headroom), block_rows) + extra_rows, 8
+                max(int(effective_counts[name] * insert_headroom), block_rows)
+                + extra_rows,
+                8,
             )
             for name in names
         }
@@ -199,7 +226,7 @@ class PushTapEngine:
             schemas={n: schemas[n] for n in names},
             layouts=layouts,
             capacities=capacities,
-            initial_counts={n: counts[n] for n in names},
+            initial_counts={n: effective_counts[n] for n in names},
             delta_rows=delta_rows,
             block_rows=block_rows,
             circulant=circulant,
@@ -210,7 +237,10 @@ class PushTapEngine:
         )
         for index_name in INDEX_NAMES:
             engine.db.add_index(HashIndex(index_name))
-        cls._load_data(engine.db, names, counts, seed)
+        if rows_by_table is None:
+            cls._load_data(engine.db, names, counts, seed)
+        else:
+            cls._load_rows(engine.db, rows_by_table)
         return engine
 
     @classmethod
@@ -457,6 +487,18 @@ class PushTapEngine:
                     db.index(index_name).insert(key, row_id)
 
     @staticmethod
+    def _load_rows(db: Database, rows_by_table: Dict[str, List[Dict]]) -> None:
+        """Bulk-load pre-filtered rows (the shard-partition build path)."""
+        for name, rows in rows_by_table.items():
+            runtime = db.table(name)
+            key_fn = _INDEX_KEY_FNS.get(name)
+            for row_id, values in enumerate(rows):
+                runtime.storage.write_row(RowRef(Region.DATA, row_id), values)
+                if key_fn is not None:
+                    index_name, key = key_fn(values)
+                    db.index(index_name).insert(key, row_id)
+
+    @staticmethod
     def _build_units(
         config: SystemConfig, rank: Rank
     ) -> Dict[Tuple[int, int], PIMUnit]:
@@ -532,11 +574,13 @@ class PushTapEngine:
         delivery_fraction: float = 0.0,
         o_id_offset: int = 0,
         o_id_stride: int = 1,
+        remote_fraction: float = 1.0,
     ) -> TPCCDriver:
         """Create a TPC-C parameter driver consistent with the loaded data.
 
         All mix fractions pass through the driver's constructor so its
-        validation applies (``payment + delivery`` must not exceed 1).
+        validation applies (``payment + delivery`` must not exceed 1,
+        ``remote_fraction`` must keep the scaled remote rates in range).
         ``o_id_offset``/``o_id_stride`` give several drivers over the
         same engine (one per serving tenant) disjoint order-id spaces.
         """
@@ -548,6 +592,7 @@ class PushTapEngine:
             delivery_fraction=delivery_fraction,
             o_id_offset=o_id_offset,
             o_id_stride=o_id_stride,
+            remote_fraction=remote_fraction,
         )
 
     def defrag_due(self) -> bool:

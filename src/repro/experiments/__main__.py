@@ -32,6 +32,17 @@ attributes each operator to its bottleneck::
 
     python -m repro.experiments roofline
     python -m repro.experiments roofline --substrates ddr5 hbm3 --tag 8
+
+Figures can also run on any registered substrate instead of the default
+DIMM system::
+
+    python -m repro.experiments fig9a fig11 --substrate hbm3
+
+The sharded cluster sweeps shard-count scaling and 2PC overhead (and,
+with ``--faults``, the cross-shard atomicity fault sweep)::
+
+    python -m repro.experiments cluster --shards 1 2 4 --check
+    python -m repro.experiments cluster --faults --fault-seeds 1 2 3
 """
 
 from __future__ import annotations
@@ -46,18 +57,18 @@ from repro.report import format_percent, format_table, format_time_ns
 from repro.telemetry import export as telemetry_export
 
 
-def run_fig8a() -> None:
+def run_fig8a(config=None) -> None:
     print(format_table(
         ["th", "CPU eff bw", "PIM eff bw", "parts"],
         [
             [p.th, format_percent(p.cpu_bandwidth), format_percent(p.pim_bandwidth), p.total_parts]
-            for p in fig8.th_sweep()
+            for p in fig8.th_sweep(config=config)
         ],
     ))
 
 
-def run_fig8b() -> None:
-    sb = fig8.storage_breakdown_point(0.6)
+def run_fig8b(config=None) -> None:
+    sb = fig8.storage_breakdown_point(0.6, config=config)
     print(format_table(
         ["component", "share"],
         [
@@ -68,7 +79,7 @@ def run_fig8b() -> None:
     ))
 
 
-def run_fig8cd() -> None:
+def run_fig8cd(config=None) -> None:
     print(format_table(
         ["subset", "key cols", "max CPU (PIM>=70%)", "max PIM (CPU>=70%)"],
         [
@@ -78,23 +89,23 @@ def run_fig8cd() -> None:
                 format_percent(p.max_cpu_with_pim_constraint),
                 format_percent(p.max_pim_with_cpu_constraint),
             ]
-            for p in fig8.subset_sweep()
+            for p in fig8.subset_sweep(config=config)
         ],
     ))
 
 
-def run_fig9a() -> None:
+def run_fig9a(config=None) -> None:
     print(format_table(
         ["format", "mean txn time", "vs RS"],
         [
             [p.label, format_time_ns(p.mean_txn_time), f"{p.relative_to_rs:.3f}x"]
-            for p in fig9.oltp_comparison()
+            for p in fig9.oltp_comparison(config=config)
         ],
     ))
 
 
-def run_fig9b() -> None:
-    points = fig9.olap_comparison()
+def run_fig9b(config=None) -> None:
+    points = fig9.olap_comparison(config=config)
     ideal = {p.num_txns: p.scan_time for p in points if p.system == "ideal"}
     print(format_table(
         ["system", "txns", "consistency", "scan", "overhead vs ideal"],
@@ -111,23 +122,24 @@ def run_fig9b() -> None:
     ))
 
 
-def run_fig10() -> None:
+def run_fig10(config=None) -> None:
     for system in ("pushtap", "mi"):
         print(format_table(
             ["system", "OLTP (MtpmC)", "OLAP (QphH)"],
             [
                 [p.system, f"{p.oltp_tpmc / 1e6:.1f}", f"{p.olap_qphh:,.0f}"]
-                for p in fig10.frontier(system, 12)
+                for p in fig10.frontier(system, 12, config=config)
             ],
         ))
-    ratios = fig10.peak_ratios()
+    model = fig10.FrontierModel(config) if config is not None else None
+    ratios = fig10.peak_ratios(model)
     print(format_table(
         ["metric", "value"],
         [[k, f"{v:,.2f}"] for k, v in ratios.items()],
     ))
 
 
-def run_fig11() -> None:
+def run_fig11(config=None) -> None:
     print(format_table(
         ["txns in window", "fragmentation", "defragmentation", "ratio"],
         [
@@ -137,25 +149,26 @@ def run_fig11() -> None:
                 format_time_ns(p.defrag_overhead),
                 f"{p.ratio:.2f}x",
             ]
-            for p in fig11.fragmentation_vs_defrag()
+            for p in fig11.fragmentation_vs_defrag(config=config)
         ],
     ))
     print("\ntransaction breakdown:")
-    for phase, share in fig11.transaction_breakdown(num_txns=100).items():
+    breakdown = fig11.transaction_breakdown(num_txns=100, config=config)
+    for phase, share in breakdown.items():
         print(f"  {phase:10s} {format_percent(share)}")
 
 
-def run_fig12a() -> None:
+def run_fig12a(config=None) -> None:
     print(format_table(
         ["strategy", "defragmentation time"],
         [
             [p.strategy, format_time_ns(p.total_time)]
-            for p in fig12.defrag_strategy_comparison()
+            for p in fig12.defrag_strategy_comparison(config=config)
         ],
     ))
 
 
-def run_fig12b() -> None:
+def run_fig12b(config=None) -> None:
     print(format_table(
         ["controller", "WRAM", "Q6 time", "control share"],
         [
@@ -165,26 +178,29 @@ def run_fig12b() -> None:
                 format_time_ns(p.q6_time),
                 format_percent(p.control_fraction),
             ]
-            for p in fig12.wram_size_sweep()
+            for p in fig12.wram_size_sweep(config=config)
         ],
     ))
 
 
-def run_ablations() -> None:
+def run_ablations(config=None) -> None:
     print(format_table(
         ["policy", "padding", "PIM eff bw"],
         [
             [p.policy, format_percent(p.padding_fraction), format_percent(p.pim_bandwidth)]
-            for p in ablations.leftover_policy_ablation()
+            for p in ablations.leftover_policy_ablation(config=config)
         ],
     ))
     print(format_table(
         ["path", "scan time"],
-        [[p.path, format_time_ns(p.scan_time)] for p in ablations.key_column_fallback_ablation()],
+        [
+            [p.path, format_time_ns(p.scan_time)]
+            for p in ablations.key_column_fallback_ablation(config=config)
+        ],
     ))
 
 
-EXPERIMENTS: Dict[str, Callable[[], None]] = {
+EXPERIMENTS: Dict[str, Callable[..., None]] = {
     "fig8a": run_fig8a,
     "fig8b": run_fig8b,
     "fig8cd": run_fig8cd,
@@ -1049,6 +1065,222 @@ def serve(argv) -> int:
     return 1 if failed else 0
 
 
+def cluster_cli(argv) -> int:
+    """``cluster``: shard-count scaling, 2PC overhead, and fault sweeps."""
+    import json
+    import os
+
+    from repro.experiments.cluster import (
+        DEFAULT_REMOTE_FRACTIONS,
+        DEFAULT_SHARD_COUNTS,
+        run_cluster_bench,
+    )
+    from repro.faults.plan import TWOPC_HOOKS, FaultRates
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments cluster",
+        description=(
+            "Sweep the sharded cluster over shard count (fixed data, fixed "
+            "tenant streams) and remote-warehouse fraction; write the "
+            "BENCH_<tag>.json scaling snapshot. --check gates near-linear "
+            "tpmC scaling; --faults sweeps the three 2PC fault hooks and "
+            "asserts cross-shard atomicity."
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_SHARD_COUNTS),
+        help="shard counts to sweep (1 is always included as the baseline)",
+    )
+    parser.add_argument(
+        "--remote-fractions",
+        type=float,
+        nargs="+",
+        default=list(DEFAULT_REMOTE_FRACTIONS),
+        help="remote-rate multipliers for the overhead curve (1.0 = spec)",
+    )
+    parser.add_argument(
+        "--intervals", type=int, default=4, help="query intervals per cell"
+    )
+    parser.add_argument(
+        "--txns-per-query", type=int, default=60, help="transactions per interval"
+    )
+    parser.add_argument("--scale", type=float, default=2e-5, help="CH-benCH scale")
+    parser.add_argument("--seed", type=int, default=11, help="workload seed")
+    parser.add_argument(
+        "--interconnect-ns",
+        type=float,
+        default=500.0,
+        help="per-message cluster interconnect latency (simulated ns)",
+    )
+    parser.add_argument(
+        "--defrag-period", type=int, default=200, help="transactions between defrags"
+    )
+    parser.add_argument("--tag", default="9", help="writes BENCH_<tag>.json")
+    parser.add_argument(
+        "--out-dir", default=".", help="directory for the BENCH_<tag>.json snapshot"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless tpmC(N) >= min-scaling * N * tpmC(1) for every N",
+    )
+    parser.add_argument(
+        "--min-scaling",
+        type=float,
+        default=0.9,
+        help="per-shard scaling efficiency the --check gate requires",
+    )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help=(
+            "run the cluster fault sweep over the three 2PC hooks instead "
+            "of the scaling bench"
+        ),
+    )
+    parser.add_argument(
+        "--fault-seeds",
+        type=int,
+        nargs="+",
+        default=[1, 2, 3],
+        help="seeds per hook for --faults",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.25,
+        help="per-cross-shard-transaction hook fire probability for --faults",
+    )
+    args = parser.parse_args(argv)
+
+    if args.faults:
+        from repro.cluster import run_cluster_fault_sweep
+
+        rows = []
+        failed = False
+        for hook in TWOPC_HOOKS:
+            for seed in args.fault_seeds:
+                result = run_cluster_fault_sweep(
+                    seed,
+                    FaultRates.parse(f"{hook}={args.fault_rate}"),
+                    shards=max(args.shards),
+                    intervals=args.intervals,
+                    txns_per_query=args.txns_per_query,
+                    scale=args.scale,
+                    defrag_period=args.defrag_period,
+                )
+                rows.append([
+                    hook,
+                    seed,
+                    "yes" if result.survived else "NO",
+                    sum(result.injected.values()),
+                    result.cross_shard_attempted,
+                    result.cross_shard_aborted,
+                    len(result.violations),
+                    len(result.atomicity_violations),
+                    format_percent(result.tpmc_degradation),
+                ])
+                if not result.survived:
+                    failed = True
+                    if result.error:
+                        print(f"{hook} seed {seed}: {result.error}", file=sys.stderr)
+                    for violation in result.violations:
+                        print(
+                            f"{hook} seed {seed}: INVARIANT: {violation}",
+                            file=sys.stderr,
+                        )
+                    for violation in result.atomicity_violations:
+                        print(
+                            f"{hook} seed {seed}: ATOMICITY: {violation}",
+                            file=sys.stderr,
+                        )
+        print(format_table(
+            [
+                "hook", "seed", "survived", "injected", "cross-shard",
+                "aborted", "invariant", "atomicity", "tpmC loss",
+            ],
+            rows,
+        ))
+        return 1 if failed else 0
+
+    snapshot = run_cluster_bench(
+        shard_counts=args.shards,
+        remote_fractions=args.remote_fractions,
+        intervals=args.intervals,
+        txns_per_query=args.txns_per_query,
+        scale=args.scale,
+        seed=args.seed,
+        interconnect_ns=args.interconnect_ns,
+        defrag_period=args.defrag_period,
+        tag=args.tag,
+    )
+    print(format_table(
+        ["shards", "tpmC", "speedup", "QphH", "speedup", "cross-shard", "coord"],
+        [
+            [
+                cell["shards"],
+                f"{cell['oltp_tpmc']:,.0f}",
+                f"{cell['tpmc_speedup']:.2f}x",
+                f"{cell['olap_qphh']:,.0f}",
+                f"{cell['qphh_speedup']:.2f}x",
+                cell["cross_shard"]["attempted"],
+                format_time_ns(cell["coordination_time_ns"]),
+            ]
+            for cell in snapshot["scaling"]
+        ],
+    ))
+    print()
+    print(format_table(
+        [
+            "remote frac", "tpmC", "cross-shard", "abort rate",
+            "coord share", "remote OL share",
+        ],
+        [
+            [
+                f"{cell['remote_fraction']:.1f}",
+                f"{cell['oltp_tpmc']:,.0f}",
+                cell["cross_shard"]["attempted"],
+                format_percent(cell["cross_shard"]["abort_rate"]),
+                format_percent(cell["coordination_share"]),
+                format_percent(
+                    cell["remote"]["remote_order_lines"]
+                    / max(cell["remote"]["order_lines"], 1)
+                ),
+            ]
+            for cell in snapshot["overhead"]
+        ],
+    ))
+    os.makedirs(args.out_dir, exist_ok=True)
+    out_path = os.path.join(args.out_dir, f"BENCH_{args.tag}.json")
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\ncluster snapshot written to {out_path}")
+
+    if args.check:
+        failed = False
+        for cell in snapshot["scaling"]:
+            required = args.min_scaling * cell["shards"]
+            if cell["tpmc_speedup"] < required:
+                print(
+                    f"FAIL: {cell['shards']}-shard tpmC speedup "
+                    f"{cell['tpmc_speedup']:.2f}x below required "
+                    f"{required:.2f}x",
+                    file=sys.stderr,
+                )
+                failed = True
+        if failed:
+            return 1
+        print(
+            f"scaling check passed (>= {args.min_scaling:.2f} per shard "
+            f"on {snapshot['params']['shard_counts']} shards)"
+        )
+    return 0
+
+
 def main(argv=None) -> int:
     """Entry point: run the named experiments (or ``all``)."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
@@ -1066,6 +1298,11 @@ def main(argv=None) -> int:
         return crash_sweep(argv[1:])
     if argv and argv[0] == "roofline":
         return roofline(argv[1:])
+    if argv and argv[0] == "cluster":
+        return cluster_cli(argv[1:])
+
+    from repro.pim.substrate import available_substrates, get_substrate
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's evaluation figures.",
@@ -1077,12 +1314,22 @@ def main(argv=None) -> int:
         help="which figures to regenerate (or 'report-metrics FILE' / 'fault-sweep')",
     )
     parser.add_argument(
+        "--substrate",
+        choices=available_substrates(),
+        default=None,
+        help=(
+            "run the figures on a registered hardware substrate instead of "
+            "each figure's default system (HBM comparison rows keep HBM)"
+        ),
+    )
+    parser.add_argument(
         "--metrics-out",
         metavar="PATH",
         default=None,
         help="enable telemetry and dump collected metrics to PATH as JSON",
     )
     args = parser.parse_args(argv)
+    config = get_substrate(args.substrate).config if args.substrate else None
     names = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
     if args.metrics_out:
         # Fail fast on an unwritable path rather than after the runs.
@@ -1099,7 +1346,7 @@ def main(argv=None) -> int:
     try:
         for name in names:
             print(f"\n=== {name} ===")
-            EXPERIMENTS[name]()
+            EXPERIMENTS[name](config)
         if registry is not None:
             with open(args.metrics_out, "w", encoding="utf-8") as fh:
                 fh.write(telemetry_export.to_json(registry))

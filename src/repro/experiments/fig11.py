@@ -56,11 +56,13 @@ def oltp_defrag_overhead(
     txn_counts: Sequence[int] = (100, 200, 400, 800),
     defrag_period: int = 200,
     scale: float = 2e-5,
+    config: Optional[SystemConfig] = None,
 ) -> List[DefragOLTPPoint]:
     """Fig. 11a: run the OLTP stream with and without defragmentation."""
     out: List[DefragOLTPPoint] = []
     for count in txn_counts:
         with_engine = PushTapEngine.build(
+            config=config,
             scale=scale,
             defrag_period=defrag_period,
             block_rows=256,
@@ -68,7 +70,11 @@ def oltp_defrag_overhead(
         )
         with_engine.run_transactions(count, with_engine.make_driver())
         without_engine = PushTapEngine.build(
-            scale=scale, defrag_period=0, block_rows=256, extra_rows=12 * count
+            config=config,
+            scale=scale,
+            defrag_period=0,
+            block_rows=256,
+            extra_rows=12 * count,
         )
         without_engine.run_transactions(count, without_engine.make_driver())
         out.append(
@@ -147,11 +153,17 @@ def fragmentation_vs_defrag(
 
 
 def transaction_breakdown(
-    num_txns: int = 300, scale: float = 2e-5
+    num_txns: int = 300,
+    scale: float = 2e-5,
+    config: Optional[SystemConfig] = None,
 ) -> Dict[str, float]:
     """Fig. 11c: per-phase fractions of transaction time."""
     engine = PushTapEngine.build(
-        scale=scale, defrag_period=0, block_rows=256, extra_rows=12 * num_txns
+        config=config,
+        scale=scale,
+        defrag_period=0,
+        block_rows=256,
+        extra_rows=12 * num_txns,
     )
     engine.run_transactions(num_txns, engine.make_driver())
     breakdown = engine.oltp.breakdown.as_dict()
@@ -160,11 +172,17 @@ def transaction_breakdown(
 
 
 def defrag_breakdown(
-    num_txns: int = 400, scale: float = 2e-5
+    num_txns: int = 400,
+    scale: float = 2e-5,
+    config: Optional[SystemConfig] = None,
 ) -> Dict[str, float]:
     """Fig. 11d: per-phase fractions of defragmentation time."""
     engine = PushTapEngine.build(
-        scale=scale, defrag_period=0, block_rows=256, extra_rows=12 * num_txns
+        config=config,
+        scale=scale,
+        defrag_period=0,
+        block_rows=256,
+        extra_rows=12 * num_txns,
     )
     engine.run_transactions(num_txns, engine.make_driver())
     results = engine.defragment()

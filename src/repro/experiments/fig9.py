@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.baselines.ideal import IdealOLAPModel
 from repro.baselines.multi_instance import MultiInstanceModel
 from repro.baselines.pushtap_model import PushTapQueryModel
-from repro.core.config import dimm_system, hbm_system
+from repro.core.config import SystemConfig, dimm_system, hbm_system
 from repro.core.engine import PushTapEngine
 from repro.experiments.common import query_scan_columns
 from repro.oltp.formats import ColumnStoreModel, RowStoreModel
@@ -57,12 +57,18 @@ def oltp_comparison(
     scale: float = 5e-5,
     num_txns: int = 200,
     seed: int = 11,
+    config: Optional[SystemConfig] = None,
 ) -> List[OLTPPoint]:
-    """Fig. 9a: run the same transaction stream under each format."""
+    """Fig. 9a: run the same transaction stream under each format.
+
+    ``config`` swaps the substrate of the RS/CS/PUSHtap rows (default
+    DIMM); the explicit HBM comparison row always runs on HBM.
+    """
+    base = config or dimm_system()
     variants = [
-        ("RS", "rowstore", dimm_system()),
-        ("CS", "columnstore", dimm_system()),
-        ("PUSHtap", "unified", dimm_system()),
+        ("RS", "rowstore", base),
+        ("CS", "columnstore", base),
+        ("PUSHtap", "unified", base),
         ("PUSHtap (HBM)", "unified", hbm_system()),
     ]
     results: List[OLTPPoint] = []
@@ -128,9 +134,13 @@ def olap_comparison(
     txn_counts: Sequence[int] = DEFAULT_TXN_COUNTS,
     scale: float = 1.0,
     pim_efficiency: float = 0.944,
+    config: Optional[SystemConfig] = None,
 ) -> List[OLAPPoint]:
-    """Fig. 9b: ideal / MI / PUSHtap on DIMM and HBM vs txn count."""
-    dimm = dimm_system()
+    """Fig. 9b: ideal / MI / PUSHtap on DIMM and HBM vs txn count.
+
+    ``config`` swaps the substrate of the non-HBM rows (default DIMM).
+    """
+    dimm = config or dimm_system()
     hbm = hbm_system()
     columns = _mean_query_columns(scale)
 

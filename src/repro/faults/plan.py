@@ -41,6 +41,10 @@ __all__ = [
     "CRASH_AFTER_WAL_APPEND",
     "CRASH_MID_CHECKPOINT",
     "CRASH_HOOKS",
+    "TWOPC_COORDINATOR_CRASH",
+    "TWOPC_PARTICIPANT_TIMEOUT",
+    "TWOPC_LOST_PREPARE",
+    "TWOPC_HOOKS",
     "FaultRates",
     "FaultPlan",
 ]
@@ -76,6 +80,15 @@ CRASH_AFTER_WAL_APPEND = "crash_after_wal_append"
 #: Durability: the process dies after spilling a checkpoint segment but
 #: before the manifest rename makes it reachable.
 CRASH_MID_CHECKPOINT = "crash_mid_checkpoint"
+#: Cluster 2PC: the coordinator goes silent after collecting the votes
+#: but before the decision reaches any participant (presumed abort).
+TWOPC_COORDINATOR_CRASH = "twopc_coordinator_crash"
+#: Cluster 2PC: a participant's vote never arrives; the coordinator's
+#: timeout expires and the transaction aborts globally.
+TWOPC_PARTICIPANT_TIMEOUT = "twopc_participant_timeout"
+#: Cluster 2PC: a prepare request is lost in the interconnect — the
+#: participant never even executes; coordinator timeout, global abort.
+TWOPC_LOST_PREPARE = "twopc_lost_prepare"
 
 #: Every hook point threaded through the engine, in documentation order.
 HOOKS: Tuple[str, ...] = (
@@ -94,6 +107,9 @@ HOOKS: Tuple[str, ...] = (
     CRASH_BEFORE_WAL_APPEND,
     CRASH_AFTER_WAL_APPEND,
     CRASH_MID_CHECKPOINT,
+    TWOPC_COORDINATOR_CRASH,
+    TWOPC_PARTICIPANT_TIMEOUT,
+    TWOPC_LOST_PREPARE,
 )
 
 #: The process-death hooks; each kills the run with a
@@ -102,6 +118,14 @@ CRASH_HOOKS: Tuple[str, ...] = (
     CRASH_BEFORE_WAL_APPEND,
     CRASH_AFTER_WAL_APPEND,
     CRASH_MID_CHECKPOINT,
+)
+
+#: The cluster two-phase-commit hooks; every one resolves to a
+#: deterministic global abort (presumed-abort keeps atomicity).
+TWOPC_HOOKS: Tuple[str, ...] = (
+    TWOPC_COORDINATOR_CRASH,
+    TWOPC_PARTICIPANT_TIMEOUT,
+    TWOPC_LOST_PREPARE,
 )
 
 

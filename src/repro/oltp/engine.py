@@ -30,6 +30,7 @@ __all__ = [
     "OLTPEngine",
     "TxnContext",
     "PendingTxn",
+    "PreparedTxn",
 ]
 
 
@@ -294,6 +295,42 @@ class TxnContext:
             value=self.result,
         )
 
+    # ------------------------------------------------------------------
+    # Two-phase commit (the single-phase commit() above is untouched)
+    # ------------------------------------------------------------------
+    def prepare(self) -> None:
+        """First 2PC phase: harden the writes plus a prepare record.
+
+        The participant flushes every written line and appends its
+        prepare record, both charged through the §6.3 flush model —
+        identical cost to a single-phase commit, because the same dirty
+        lines must reach DRAM before the participant may vote yes. Its
+        write locks stay held until :meth:`finalize_commit` or
+        :meth:`rollback` resolves the decision.
+        """
+        self.breakdown.flush += (
+            self._written_lines * self.engine.cost.flush_per_line_ns
+            + self.engine.cost.commit_barrier_ns
+        )
+
+    def finalize_commit(self) -> TxnResult:
+        """Second 2PC phase: the decision record flush + barrier.
+
+        One extra flushed line (the commit record referencing the
+        prepare record) plus the barrier — the per-participant overhead
+        a cross-shard transaction pays over a single-phase commit.
+        """
+        self.breakdown.flush += (
+            self.engine.cost.flush_per_line_ns + self.engine.cost.commit_barrier_ns
+        )
+        return TxnResult(
+            ts=self.ts,
+            breakdown=self.breakdown,
+            rows_read=self.rows_read,
+            rows_written=self.rows_written,
+            value=self.result,
+        )
+
 
 class PendingTxn:
     """A transaction accepted but not yet executed (serve-loop handle).
@@ -321,6 +358,41 @@ class PendingTxn:
         if self.result is None:
             self.result = self.engine.execute(self.txn)
         return self.result
+
+
+class PreparedTxn:
+    """A transaction that ran its body and voted in a 2PC prepare phase.
+
+    ``vote_yes`` carries the participant's vote: True means the body
+    executed and its writes are hardened behind a prepare record (locks
+    held, awaiting the coordinator's decision); False means the body
+    aborted during prepare — the writes are already rolled back and the
+    participant needs no further resolution. The coordinator resolves a
+    yes-voting handle with exactly one of
+    :meth:`OLTPEngine.commit_prepared` / :meth:`OLTPEngine.abort_prepared`.
+    """
+
+    __slots__ = ("ctx", "txn_name", "vote_yes", "result", "resolved")
+
+    def __init__(
+        self,
+        ctx: TxnContext,
+        txn_name: str,
+        vote_yes: bool,
+        result: Optional[TxnResult] = None,
+    ) -> None:
+        self.ctx = ctx
+        self.txn_name = txn_name
+        self.vote_yes = vote_yes
+        self.result = result
+        self.resolved = not vote_yes
+
+    @property
+    def prepare_time(self) -> float:
+        """Simulated time the prepare phase consumed so far (ns)."""
+        if self.result is not None and not self.vote_yes:
+            return self.result.total_time
+        return self.ctx.breakdown.total
 
 
 class OLTPEngine:
@@ -428,6 +500,107 @@ class OLTPEngine:
             tel.counter("oltp.rows_written").inc(result.rows_written)
             tel.histogram(f"oltp.txn.{txn_name}.latency_ns").observe(result.total_time)
             tel.record_span("oltp.txn", result.total_time, {"type": txn_name})
+        return result
+
+    # ------------------------------------------------------------------
+    # Two-phase commit participant interface
+    # ------------------------------------------------------------------
+    def prepare(self, txn: Callable[[TxnContext], None]) -> PreparedTxn:
+        """Run ``txn``'s body and vote (2PC phase one).
+
+        On success the writes are installed and hardened behind a
+        prepare record (§6.3-charged), the context's locks stay held,
+        and the returned handle votes yes. A :class:`TransactionAborted`
+        inside the body (including the injected abort storm) rolls back
+        immediately and votes no — the abort accounting matches
+        :meth:`execute` so a no-vote looks exactly like a single-phase
+        abort to the stats.
+        """
+        ts = self.db.oracle.next_timestamp()
+        ctx = TxnContext(self, ts)
+        tel = telemetry.active()
+        inj = faults.active()
+        txn_name = getattr(txn, "txn_name", None) or getattr(txn, "__name__", "txn")
+        injected_abort = inj.enabled and inj.fire(fault_plan.FORCED_ABORT)
+        try:
+            if injected_abort:
+                raise TransactionAborted("injected fault: forced abort storm")
+            txn(ctx)
+        except TransactionAborted:
+            ctx.rollback()
+            self.aborted += 1
+            if injected_abort:
+                inj.detect(fault_plan.FORCED_ABORT)
+            if tel.enabled:
+                tel.counter("oltp.txn.aborted").inc()
+                tel.counter(f"oltp.txn.{txn_name}.aborted").inc()
+            result = TxnResult(
+                ts=ts,
+                breakdown=ctx.breakdown,
+                rows_read=ctx.rows_read,
+                rows_written=0,
+                aborted=True,
+            )
+            return PreparedTxn(ctx, txn_name, vote_yes=False, result=result)
+        except Exception:
+            ctx.rollback()
+            if tel.enabled:
+                tel.counter("oltp.txn.failed").inc()
+            raise
+        ctx.prepare()
+        return PreparedTxn(ctx, txn_name, vote_yes=True)
+
+    def commit_prepared(self, prepared: PreparedTxn) -> TxnResult:
+        """Resolve a yes-voting prepare with a commit (2PC phase two)."""
+        if prepared.resolved:
+            raise TransactionError("prepared transaction already resolved")
+        prepared.resolved = True
+        ctx = prepared.ctx
+        result = ctx.finalize_commit()
+        if self.durability is not None:
+            result.breakdown.flush += self.durability.log_commit(ctx.ts, ctx.ops)
+        self.committed += 1
+        self.total_time += result.total_time
+        self.breakdown = self.breakdown.merge(result.breakdown)
+        tel = telemetry.active()
+        if tel.enabled:
+            tel.counter("oltp.txn.committed").inc()
+            tel.counter("oltp.rows_read").inc(result.rows_read)
+            tel.counter("oltp.rows_written").inc(result.rows_written)
+            tel.histogram(
+                f"oltp.txn.{prepared.txn_name}.latency_ns"
+            ).observe(result.total_time)
+            tel.record_span(
+                "oltp.txn", result.total_time, {"type": prepared.txn_name}
+            )
+        prepared.result = result
+        return result
+
+    def abort_prepared(self, prepared: PreparedTxn) -> TxnResult:
+        """Resolve a yes-voting prepare with a global abort.
+
+        Presumed-abort: no abort record is flushed — the participant
+        simply rolls back its installed writes (the prepare-phase work,
+        including the prepare record, was still paid for).
+        """
+        if prepared.resolved:
+            raise TransactionError("prepared transaction already resolved")
+        prepared.resolved = True
+        ctx = prepared.ctx
+        ctx.rollback()
+        self.aborted += 1
+        tel = telemetry.active()
+        if tel.enabled:
+            tel.counter("oltp.txn.aborted").inc()
+            tel.counter(f"oltp.txn.{prepared.txn_name}.aborted").inc()
+        result = TxnResult(
+            ts=ctx.ts,
+            breakdown=ctx.breakdown,
+            rows_read=ctx.rows_read,
+            rows_written=0,
+            aborted=True,
+        )
+        prepared.result = result
         return result
 
     def submit(self, txn: Callable[[TxnContext], None]) -> PendingTxn:

@@ -11,6 +11,7 @@ generator's key assignment and produces transaction closures for
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -34,7 +35,16 @@ __all__ = [
     "order_status",
     "stock_level",
     "INDEX_NAMES",
+    "NEW_ORDER_REMOTE_RATE",
+    "PAYMENT_REMOTE_RATE",
 ]
+
+#: TPC-C's nominal remote rates (§2.4.1.5 / §2.5.1.2): ~1 % of New-Order
+#: lines are supplied by a remote warehouse; ~15 % of Payments are made
+#: at a warehouse other than the customer's home. ``remote_fraction``
+#: scales both (0 disables cross-warehouse traffic, 1 is the spec rate).
+NEW_ORDER_REMOTE_RATE = 0.01
+PAYMENT_REMOTE_RATE = 0.15
 
 #: Index names the transactions expect the database to provide.
 INDEX_NAMES = (
@@ -51,13 +61,36 @@ INDEX_NAMES = (
 
 @dataclass(frozen=True)
 class PaymentParams:
-    """Inputs of one Payment transaction."""
+    """Inputs of one Payment transaction.
+
+    ``w_id``/``d_id`` name the warehouse the payment is *made at* (its
+    YTD counters absorb the amount); ``c_w_id``/``c_d_id`` name the
+    customer's home. They default to the paying warehouse (the ~85 %
+    local case); a remote payment sets them to a different warehouse.
+    """
 
     w_id: int
     d_id: int
     c_id: int
     amount: int
     h_date: int
+    c_w_id: Optional[int] = None
+    c_d_id: Optional[int] = None
+
+    @property
+    def customer_w_id(self) -> int:
+        """The customer's home warehouse (defaults to the paying one)."""
+        return self.w_id if self.c_w_id is None else self.c_w_id
+
+    @property
+    def customer_d_id(self) -> int:
+        """The customer's home district (defaults to the paying one)."""
+        return self.d_id if self.c_d_id is None else self.c_d_id
+
+    @property
+    def is_remote(self) -> bool:
+        """Whether the payment crosses warehouses."""
+        return self.customer_w_id != self.w_id
 
 
 @dataclass(frozen=True)
@@ -87,7 +120,8 @@ def payment(params: PaymentParams) -> Callable[[TxnContext], None]:
         ctx.update("district", d_row, {"d_ytd": district["d_ytd"] + params.amount})
 
         c_row = ctx.index_lookup(
-            "customer_pk", (params.w_id, params.d_id, params.c_id)
+            "customer_pk",
+            (params.customer_w_id, params.customer_d_id, params.c_id),
         )
         customer = ctx.read(
             "customer", c_row, ["c_balance", "c_ytd_payment", "c_payment_cnt"]
@@ -106,8 +140,8 @@ def payment(params: PaymentParams) -> Callable[[TxnContext], None]:
             "history",
             {
                 "h_c_id": params.c_id,
-                "h_c_d_id": params.d_id,
-                "h_c_w_id": params.w_id,
+                "h_c_d_id": params.customer_d_id,
+                "h_c_w_id": params.customer_w_id,
                 "h_d_id": params.d_id,
                 "h_w_id": params.w_id,
                 "h_date": params.h_date,
@@ -117,6 +151,7 @@ def payment(params: PaymentParams) -> Callable[[TxnContext], None]:
         )
 
     txn.txn_name = "payment"
+    txn.params = params
     return txn
 
 
@@ -194,6 +229,7 @@ def new_order(params: NewOrderParams) -> Callable[[TxnContext], None]:
 
     txn.txn_name = "new_order"
     txn.o_id = params.o_id
+    txn.params = params
     return txn
 
 
@@ -253,6 +289,7 @@ def delivery(params: DeliveryParams) -> Callable[[TxnContext], None]:
             )
 
     txn.txn_name = "delivery"
+    txn.params = params
     return txn
 
 
@@ -289,6 +326,7 @@ def order_status(params: OrderStatusParams) -> Callable[[TxnContext], None]:
             )
 
     txn.txn_name = "order_status"
+    txn.params = params
     return txn
 
 
@@ -327,6 +365,7 @@ def stock_level(params: StockLevelParams) -> Callable[[TxnContext], None]:
         ctx.result = len(low)
 
     txn.txn_name = "stock_level"
+    txn.params = params
     return txn
 
 
@@ -338,6 +377,20 @@ class TPCCDriver:
     transaction types are excluded — the paper simulates exactly these
     two, §7.1). ``delivery_fraction`` optionally adds Delivery
     transactions draining the orders this driver previously generated.
+
+    ``remote_fraction`` scales TPC-C's nominal remote-warehouse rates
+    (:data:`NEW_ORDER_REMOTE_RATE` per order line,
+    :data:`PAYMENT_REMOTE_RATE` per payment): 1.0 is the spec mix, 0
+    disables cross-warehouse traffic entirely. Remote decisions draw
+    from a *separate* seed-derived stream, so changing the fraction
+    never perturbs the main parameter stream — and with a single
+    warehouse the stream is never consulted at all, which keeps
+    single-warehouse runs bit-identical across every fraction.
+
+    ``home_warehouses`` optionally pins the driver's customers to a
+    subset of warehouses (a cluster shard's residents); remote lines
+    and payments may still reach any warehouse. ``None`` (or the full
+    set) means no affinity and preserves the legacy customer draw.
     """
 
     def __init__(
@@ -350,6 +403,8 @@ class TPCCDriver:
         delivery_batch: int = 5,
         o_id_offset: int = 0,
         o_id_stride: int = 1,
+        remote_fraction: float = 1.0,
+        home_warehouses: Optional[List[int]] = None,
     ) -> None:
         if not 0.0 <= payment_fraction <= 1.0:
             raise TransactionError("payment_fraction must be in [0, 1]")
@@ -361,12 +416,50 @@ class TPCCDriver:
             raise TransactionError(
                 "o_id_offset must be in [0, o_id_stride) with stride >= 1"
             )
+        max_rate = max(NEW_ORDER_REMOTE_RATE, PAYMENT_REMOTE_RATE)
+        if remote_fraction < 0.0 or remote_fraction * max_rate > 1.0:
+            raise TransactionError(
+                "remote_fraction must be >= 0 and keep the scaled remote "
+                f"rates within [0, 1] (max {1.0 / max_rate:.3f})"
+            )
         self.counts = dict(counts)
         self.rng = np.random.RandomState(seed)
         self.payment_fraction = payment_fraction
         self.delivery_fraction = delivery_fraction
+        self.remote_fraction = float(remote_fraction)
         self.max_order_lines = max_order_lines
         self.delivery_batch = delivery_batch
+        # Remote decisions get their own stream (CRC-32 derivation, the
+        # tpcc_gen idiom) so the main parameter stream stays put.
+        self._remote_rng = np.random.RandomState(
+            (int(seed) ^ zlib.crc32(b"remote")) & 0x7FFF_FFFF
+        )
+        warehouses = self.counts["warehouse"]
+        self._home_warehouses: Optional[List[int]] = None
+        self._home_cumulative: List[int] = []
+        if home_warehouses is not None:
+            homes = sorted(set(int(w) for w in home_warehouses))
+            if not homes:
+                raise TransactionError("home_warehouses must not be empty")
+            if homes[0] < 1 or homes[-1] > warehouses:
+                raise TransactionError(
+                    f"home_warehouses must be within [1, {warehouses}]"
+                )
+            if len(homes) < warehouses:
+                # A proper subset changes the customer draw; the full set
+                # keeps the legacy single-draw path (bit-compatible).
+                self._home_warehouses = homes
+                total = 0
+                for w in homes:
+                    total += self._customers_at(w)
+                    self._home_cumulative.append(total)
+        #: Remote-traffic observability (surfaced in WorkloadReport).
+        self.payments = 0
+        self.remote_payments = 0
+        self.new_orders = 0
+        self.remote_new_orders = 0
+        self.order_lines = 0
+        self.remote_order_lines = 0
         self._undelivered: List[DeliveryOrder] = []
         #: Orders created by this driver (known exact line counts), kept
         #: for the read-only Order-Status / Stock-Level transactions.
@@ -379,14 +472,52 @@ class TPCCDriver:
         self._next_o_id = max(counts["order"], counts["neworder"]) + 1 + o_id_offset
 
     # -- key derivation matching repro.workloads.tpcc_gen ----------------
+    def _customers_at(self, w: int) -> int:
+        """Customers whose home is warehouse ``w`` (generator assignment)."""
+        total = self.counts["customer"]
+        warehouses = self.counts["warehouse"]
+        if w > total:
+            return 0
+        return (total - w) // warehouses + 1
+
     def _random_customer(self) -> tuple:
-        i = int(self.rng.randint(0, self.counts["customer"]))
-        w = i % self.counts["warehouse"] + 1
+        warehouses = self.counts["warehouse"]
+        if self._home_warehouses is None:
+            i = int(self.rng.randint(0, self.counts["customer"]))
+        else:
+            # Customer i lives at warehouse i % W + 1, so a warehouse's
+            # residents are an arithmetic progression; one draw over the
+            # affinity set's total population picks uniformly among them.
+            r = int(self.rng.randint(0, self._home_cumulative[-1]))
+            prev = 0
+            for w, acc in zip(self._home_warehouses, self._home_cumulative):
+                if r < acc:
+                    i = (w - 1) + (r - prev) * warehouses
+                    break
+                prev = acc
+        w = i % warehouses + 1
         d = i % 10 + 1
         return w, d, i + 1
 
     def _random_item(self) -> int:
         return int(self.rng.randint(1, self.counts["item"] + 1))
+
+    def _local_item(self, w: int) -> int:
+        """A random item *supplied by* warehouse ``w`` (the generator
+        stocks item j only at warehouse (j-1) % W + 1)."""
+        total = self.counts["item"]
+        warehouses = self.counts["warehouse"]
+        if w > total:
+            return self._random_item()
+        n = (total - w) // warehouses + 1
+        k = int(self.rng.randint(0, n))
+        return w + k * warehouses
+
+    def _remote_warehouse(self, home: int) -> int:
+        """A random warehouse other than ``home`` (remote stream)."""
+        warehouses = self.counts["warehouse"]
+        k = int(self._remote_rng.randint(1, warehouses))
+        return (home - 1 + k) % warehouses + 1
 
     def _supply_warehouse(self, i_id: int) -> int:
         return (i_id - 1) % self.counts["warehouse"] + 1
@@ -395,21 +526,50 @@ class TPCCDriver:
     def next_payment(self) -> PaymentParams:
         """Generate one Payment parameter set."""
         w, d, c = self._random_customer()
+        pay_w, pay_d = w, d
+        c_w: Optional[int] = None
+        c_d: Optional[int] = None
+        p_remote = PAYMENT_REMOTE_RATE * self.remote_fraction
+        if (
+            self.counts["warehouse"] > 1
+            and p_remote > 0.0
+            and self._remote_rng.random_sample() < p_remote
+        ):
+            pay_w = self._remote_warehouse(w)
+            pay_d = int(self._remote_rng.randint(1, 11))
+            c_w, c_d = w, d
+            self.remote_payments += 1
+        self.payments += 1
         return PaymentParams(
-            w_id=w,
-            d_id=d,
+            w_id=pay_w,
+            d_id=pay_d,
             c_id=c,
             amount=int(self.rng.randint(1, 5000)),
             h_date=int(self.rng.randint(DATE_EPOCH, DATE_HORIZON)),
+            c_w_id=c_w,
+            c_d_id=c_d,
         )
 
     def next_new_order(self) -> NewOrderParams:
         """Generate one New-Order parameter set."""
         w, d, c = self._random_customer()
         ol_cnt = int(self.rng.randint(5, self.max_order_lines + 1))
-        items = sorted({self._random_item() for _ in range(ol_cnt)})
+        if self.counts["warehouse"] <= 1:
+            # Single warehouse: every item is home-supplied; keep the
+            # legacy draw sequence exactly (seeded baselines depend on it).
+            items = sorted({self._random_item() for _ in range(ol_cnt)})
+        else:
+            p_remote = NEW_ORDER_REMOTE_RATE * self.remote_fraction
+            chosen = set()
+            for _ in range(ol_cnt):
+                supply = w
+                if p_remote > 0.0 and self._remote_rng.random_sample() < p_remote:
+                    supply = self._remote_warehouse(w)
+                chosen.add(self._local_item(supply))
+            items = sorted(chosen)
         o_id = self._next_o_id
         self._next_o_id += self._o_id_stride
+        supply_w_ids = [self._supply_warehouse(i) for i in items]
         params = NewOrderParams(
             w_id=w,
             d_id=d,
@@ -417,9 +577,15 @@ class TPCCDriver:
             o_id=o_id,
             entry_d=int(self.rng.randint(DATE_EPOCH, DATE_HORIZON)),
             item_ids=items,
-            supply_w_ids=[self._supply_warehouse(i) for i in items],
+            supply_w_ids=supply_w_ids,
             quantities=[int(self.rng.randint(1, 11)) for _ in items],
         )
+        remote_lines = sum(1 for s in supply_w_ids if s != w)
+        self.new_orders += 1
+        self.order_lines += len(items)
+        self.remote_order_lines += remote_lines
+        if remote_lines:
+            self.remote_new_orders += 1
         record = DeliveryOrder(o_id=o_id, w_id=w, d_id=d, c_id=c, ol_cnt=len(items))
         self._undelivered.append(record)
         self._recent_orders.append(record)

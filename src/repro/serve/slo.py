@@ -20,7 +20,7 @@ from repro.errors import ConfigError
 from repro.telemetry import registry as telemetry
 from repro.telemetry.metrics import Histogram
 
-__all__ = ["SLOTargets", "TenantSLO", "SLOAccounting"]
+__all__ = ["SLOTargets", "TenantSLO", "SLOAccounting", "quantiles"]
 
 
 @dataclass(frozen=True)
@@ -68,7 +68,8 @@ class TenantSLO:
         return self.oltp_latency if kind == "oltp" else self.olap_latency
 
 
-def _quantiles(hist: Histogram) -> Dict[str, float]:
+def quantiles(hist: Histogram) -> Dict[str, float]:
+    """Standard summary of a latency histogram (shared report shape)."""
     return {
         "count": hist.count,
         "mean_ns": hist.mean,
@@ -172,8 +173,8 @@ class SLOAccounting:
                 "disconnected": slo.disconnected,
                 "aborted": slo.aborted,
                 "violations": dict(slo.violations),
-                "oltp": _quantiles(slo.oltp_latency),
-                "olap": _quantiles(slo.olap_latency),
-                "queue_wait": _quantiles(slo.queue_wait),
+                "oltp": quantiles(slo.oltp_latency),
+                "olap": quantiles(slo.olap_latency),
+                "queue_wait": quantiles(slo.queue_wait),
             }
         return out

@@ -164,6 +164,11 @@ def default_track(name: str, attrs: Dict[str, object]) -> str:
         if tenant is not None:
             return f"serve/tenant{int(tenant):02d}"
         return "serve/scheduler"
+    if name.startswith("cluster."):
+        shard = attrs.get("shard")
+        if shard is not None:
+            return f"cluster/shard{int(shard):02d}"
+        return "cluster/coordinator"
     return "misc/other"
 
 

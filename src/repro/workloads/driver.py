@@ -40,6 +40,16 @@ class WorkloadReport:
     oltp_time: float = 0.0
     olap_time: float = 0.0
     defrag_time: float = 0.0
+    #: The remote-warehouse scaling the driver ran with (1.0 = the
+    #: TPC-C spec rates) plus its observed remote-traffic counters —
+    #: how many payments/new orders actually crossed warehouses.
+    remote_fraction: float = 1.0
+    payments: int = 0
+    remote_payments: int = 0
+    new_orders: int = 0
+    remote_new_orders: int = 0
+    order_lines: int = 0
+    remote_order_lines: int = 0
     query_histograms: Dict[str, Histogram] = field(default_factory=dict)
     #: End-to-end latency of every executed transaction (ns). In batch
     #: mode there is no queue, so end-to-end equals execution time — the
@@ -129,6 +139,7 @@ class MixedWorkload:
         seed: int = 11,
         payment_fraction: float = 0.5,
         delivery_fraction: float = 0.0,
+        remote_fraction: float = 1.0,
         invariant_checker=None,
     ) -> None:
         if txns_per_query < 0:
@@ -140,11 +151,13 @@ class MixedWorkload:
         self.queries = list(queries)
         # The mix fractions go through make_driver → the TPCCDriver
         # constructor, so its validation applies (an invalid
-        # payment/delivery mix raises instead of being assigned blindly).
+        # payment/delivery/remote mix raises instead of being assigned
+        # blindly).
         self.driver = engine.make_driver(
             seed=seed,
             payment_fraction=payment_fraction,
             delivery_fraction=delivery_fraction,
+            remote_fraction=remote_fraction,
         )
         #: Optional :class:`~repro.faults.invariants.InvariantChecker`,
         #: consulted after every injected fault and at interval ends.
@@ -201,6 +214,14 @@ class MixedWorkload:
                     start=t0,
                 )
         report.defrag_time = engine.stats.defrag_time - defrag_before
+        driver = self.driver
+        report.remote_fraction = driver.remote_fraction
+        report.payments = driver.payments
+        report.remote_payments = driver.remote_payments
+        report.new_orders = driver.new_orders
+        report.remote_new_orders = driver.remote_new_orders
+        report.order_lines = driver.order_lines
+        report.remote_order_lines = driver.remote_order_lines
         if tel.enabled:
             tel.counter("workload.intervals").inc(num_queries)
             tel.gauge("workload.oltp_tpmc").set(report.oltp_tpmc)

@@ -1,0 +1,312 @@
+"""The sharded cluster: partitioning, routing, 2PC, scatter-gather.
+
+The two load-bearing properties pinned here bit-for-bit:
+
+* a 1-shard cluster driven by the cluster workload equals the bare
+  engine driven by :class:`MixedWorkload` on every simulated metric;
+* an N-shard cluster's scatter-gather Q1/Q6/Q9 results equal a single
+  merged engine executing the same (unsplit) transaction stream —
+  including cross-shard 2PC histories and a mid-history defrag of one
+  shard, in both host execution modes.
+"""
+
+import pytest
+
+from repro import perf
+from repro.cluster import (
+    ClusterWorkload,
+    PushTapCluster,
+    ShardRouter,
+    cluster_row_counts,
+    merge_rows,
+    run_cluster_fault_sweep,
+    shard_of,
+    shard_warehouses,
+)
+from repro.core.engine import PushTapEngine
+from repro.errors import ConfigError, QueryError, TransactionError
+from repro.faults.plan import TWOPC_HOOKS, FaultRates
+from repro.workloads.chbench import row_counts
+from repro.oltp.tpcc import TPCCDriver
+from repro.workloads.driver import MixedWorkload, _derive_seed
+
+SCALE = 2e-5
+ENGINE_KWARGS = dict(seed=7, block_rows=256, defrag_period=200)
+
+
+def _mirrored_drivers(counts, shards, tenants, seed=11, remote_fraction=4.0):
+    """Two identical per-tenant driver lists (cluster vs merged engine)."""
+
+    def make():
+        return [
+            TPCCDriver(
+                counts,
+                seed=_derive_seed(seed, f"tenant{t}.workload"),
+                o_id_offset=t,
+                o_id_stride=tenants,
+                remote_fraction=remote_fraction,
+                home_warehouses=shard_warehouses(
+                    t % shards, shards, counts["warehouse"]
+                ),
+            )
+            for t in range(tenants)
+        ]
+
+    return make(), make()
+
+
+class TestPartition:
+    def test_single_shard_counts_unchanged(self):
+        """N == 1 must reproduce row_counts exactly (bit-identity)."""
+        assert cluster_row_counts(SCALE, 1) == row_counts(SCALE)
+
+    def test_multi_shard_counts_divisible(self):
+        counts = cluster_row_counts(SCALE, 4)
+        assert counts["warehouse"] % 4 == 0
+        assert counts["district"] == 10 * counts["warehouse"]
+        assert counts["item"] == counts["stock"]
+
+    def test_shard_of_round_robin(self):
+        assert [shard_of(w, 2) for w in (1, 2, 3, 4)] == [0, 1, 0, 1]
+        assert shard_warehouses(1, 2, 4) == [2, 4]
+
+    def test_shards_partition_all_rows(self):
+        """Every shard-filtered row set unions back to the global counts."""
+        counts = cluster_row_counts(SCALE, 2)
+        cluster = PushTapCluster.build(shards=2, counts=counts, **ENGINE_KWARGS)
+        for table, total in counts.items():
+            if table == "item":
+                # ITEM is replicated, not partitioned.
+                for engine in cluster.engines:
+                    assert engine.table(table).num_rows == total
+                continue
+            per_shard = [e.table(table).num_rows for e in cluster.engines]
+            assert sum(per_shard) == total, table
+            assert all(n > 0 for n in per_shard), table
+
+    def test_more_shards_than_warehouses_rejected(self):
+        with pytest.raises(ConfigError):
+            PushTapCluster.build(
+                shards=4, counts=row_counts(SCALE), **ENGINE_KWARGS
+            )
+
+
+class TestSingleShardIdentity:
+    def test_report_matches_mixed_workload(self):
+        engine = PushTapEngine.build(scale=SCALE, **ENGINE_KWARGS)
+        bare = MixedWorkload(engine, txns_per_query=30, seed=11).run(4)
+        cluster = PushTapCluster.build(shards=1, scale=SCALE, **ENGINE_KWARGS)
+        clustered = ClusterWorkload(cluster, txns_per_query=30, seed=11).run(4)
+
+        assert clustered.transactions == bare.transactions
+        assert clustered.aborted == bare.aborted
+        assert clustered.queries == bare.queries
+        assert clustered.oltp_time == bare.oltp_time
+        assert clustered.olap_time == bare.olap_time
+        assert clustered.defrag_time == bare.defrag_time
+        assert clustered.simulated_time == bare.simulated_time
+        assert clustered.oltp_tpmc == bare.oltp_tpmc
+        assert clustered.olap_qphh == bare.olap_qphh
+        assert (
+            clustered.txn_histogram.samples == bare.txn_histogram.samples
+        )
+        for name, hist in bare.query_histograms.items():
+            assert clustered.query_histograms[name].samples == hist.samples
+        assert clustered.cross_shard_attempted == 0
+        assert clustered.coordination_time == 0.0
+
+    def test_remote_counters_surface_in_reports(self):
+        engine = PushTapEngine.build(scale=SCALE, **ENGINE_KWARGS)
+        report = MixedWorkload(
+            engine, txns_per_query=30, seed=11, remote_fraction=0.0
+        ).run(2)
+        assert report.remote_fraction == 0.0
+        assert report.payments > 0
+        assert report.remote_payments == 0
+        assert report.remote_order_lines == 0
+        assert report.order_lines > 0
+
+
+class TestScatterGatherIdentity:
+    @pytest.mark.parametrize("shards", [2, 3])
+    def test_queries_match_merged_engine(self, shards):
+        """Cross-shard history + per-shard defrag, queries bit-identical."""
+        counts = cluster_row_counts(SCALE, shards)
+        cluster = PushTapCluster.build(
+            shards=shards, counts=counts, **ENGINE_KWARGS
+        )
+        merged = PushTapEngine.build(counts=counts, **ENGINE_KWARGS)
+        cluster_drivers, merged_drivers = _mirrored_drivers(
+            counts, shards, tenants=shards
+        )
+        cross_shard = 0
+        for i in range(150):
+            t = i % shards
+            result = cluster.execute_transaction(
+                cluster_drivers[t].next_transaction()
+            )
+            reference = merged.execute_transaction(
+                merged_drivers[t].next_transaction()
+            )
+            assert result.committed == (not reference.aborted)
+            cross_shard += result.cross_shard
+            if i == 75:
+                # Defragment one shard mid-history; results must still
+                # merge identically (defrag moves rows, not values).
+                cluster.engines[0].defragment()
+        assert cross_shard > 0, "history exercised no cross-shard txns"
+        for name in ("Q1", "Q6", "Q9"):
+            assert cluster.query(name).rows == merged.query(name).rows
+
+    def test_queries_match_in_naive_mode(self):
+        counts = cluster_row_counts(SCALE, 2)
+        with perf.naive_mode():
+            cluster = PushTapCluster.build(
+                shards=2, counts=counts, **ENGINE_KWARGS
+            )
+            merged = PushTapEngine.build(counts=counts, **ENGINE_KWARGS)
+            cluster_drivers, merged_drivers = _mirrored_drivers(
+                counts, 2, tenants=2
+            )
+            for i in range(60):
+                cluster.execute_transaction(
+                    cluster_drivers[i % 2].next_transaction()
+                )
+                merged.execute_transaction(
+                    merged_drivers[i % 2].next_transaction()
+                )
+            for name in ("Q1", "Q6", "Q9"):
+                assert cluster.query(name).rows == merged.query(name).rows
+
+    def test_unmergeable_query_rejected(self):
+        with pytest.raises(QueryError):
+            merge_rows("Q2", [{}, {}])
+
+
+class TestTwoPhaseCommit:
+    def _remote_payment(self, cluster):
+        """A payment paying at warehouse 1 for a customer of warehouse 2."""
+        driver = TPCCDriver(
+            cluster.counts, seed=5, payment_fraction=1.0, remote_fraction=4.0
+        )
+        for _ in range(400):
+            txn = driver.next_transaction()
+            shards = cluster.router.involved_shards(txn)
+            if len(shards) > 1:
+                return txn
+        raise AssertionError("driver produced no cross-shard payment")
+
+    def test_commit_counters_and_cost(self):
+        cluster = PushTapCluster.build(shards=2, scale=SCALE, **ENGINE_KWARGS)
+        txn = self._remote_payment(cluster)
+        result = cluster.execute_transaction(txn)
+        assert result.committed and result.cross_shard
+        assert cluster.twopc.attempted == 1
+        assert cluster.twopc.committed == 1
+        assert len(result.per_shard) == 2
+        exec_time = sum(r.total_time for r in result.per_shard.values())
+        # Latency = execution + interconnect messages (prepare request,
+        # vote, decision, ack for the one remote participant).
+        assert result.latency == pytest.approx(
+            exec_time + 4 * cluster.interconnect_ns
+        )
+        assert cluster.coordination_time == pytest.approx(
+            4 * cluster.interconnect_ns
+        )
+        # Participant execution time lands in shard stats; every
+        # participant counts the committed transaction.
+        assert sum(e.stats.transactions for e in cluster.engines) == 2
+
+    def test_router_split_is_exhaustive(self):
+        cluster = PushTapCluster.build(shards=2, scale=SCALE, **ENGINE_KWARGS)
+        txn = self._remote_payment(cluster)
+        subs = cluster.router.split(txn)
+        assert sorted(subs) == cluster.router.involved_shards(txn)
+
+    def test_router_rejects_single_shard_split(self):
+        router = ShardRouter(2, 4)
+        driver = TPCCDriver(
+            cluster_row_counts(SCALE, 2),
+            seed=5,
+            payment_fraction=1.0,
+            remote_fraction=0.0,
+        )
+        txn = driver.next_transaction()
+        with pytest.raises(TransactionError):
+            router.split(txn)
+
+    @pytest.mark.parametrize("hook", TWOPC_HOOKS)
+    def test_fault_hook_aborts_globally(self, hook):
+        """Rate-1.0 hooks: global abort, no data change, atomicity holds."""
+        from repro.faults.injector import FaultInjector, deactivate, install
+        from repro.faults.plan import FaultPlan
+
+        cluster = PushTapCluster.build(shards=2, scale=SCALE, **ENGINE_KWARGS)
+        txn = self._remote_payment(cluster)
+        before = {
+            name: cluster.query(name).rows for name in ("Q1", "Q6", "Q9")
+        }
+        install(FaultInjector(FaultPlan(3, FaultRates.parse(f"{hook}=1.0"))))
+        try:
+            result = cluster.execute_transaction(txn)
+        finally:
+            deactivate()
+        assert not result.committed
+        assert result.abort_cause == hook
+        assert cluster.twopc.aborted == 1
+        assert cluster.twopc.atomicity_violations() == []
+        for name, rows in before.items():
+            assert cluster.query(name).rows == rows
+
+    def test_cluster_fault_sweep_smoke(self):
+        result = run_cluster_fault_sweep(
+            seed=3,
+            rates=FaultRates.parse("twopc_coordinator_crash=0.5"),
+            shards=2,
+            intervals=2,
+            txns_per_query=20,
+        )
+        assert result.survived
+        assert result.injected.get("twopc_coordinator_crash", 0) > 0
+        assert result.cross_shard_aborted > 0
+        assert result.atomicity_violations == []
+
+
+class TestClusterWorkload:
+    def test_rejects_bad_config(self):
+        cluster = PushTapCluster.build(shards=2, scale=SCALE, **ENGINE_KWARGS)
+        with pytest.raises(ConfigError):
+            ClusterWorkload(cluster, tenants=0)
+        with pytest.raises(ConfigError):
+            ClusterWorkload(cluster, warehouse_groups=3)
+
+    def test_remote_fraction_validation(self):
+        counts = cluster_row_counts(SCALE, 2)
+        with pytest.raises(TransactionError):
+            TPCCDriver(counts, remote_fraction=-0.5)
+        with pytest.raises(TransactionError):
+            TPCCDriver(counts, remote_fraction=10.0)
+
+    def test_report_accounting(self):
+        cluster = PushTapCluster.build(shards=2, scale=SCALE, **ENGINE_KWARGS)
+        report = ClusterWorkload(
+            cluster, txns_per_query=25, seed=11, remote_fraction=4.0
+        ).run(3)
+        assert report.num_shards == 2 and report.tenants == 2
+        assert report.transactions == 75
+        assert report.queries == 3
+        assert report.cross_shard_attempted > 0
+        assert (
+            report.cross_shard_committed + report.cross_shard_aborted
+            == report.cross_shard_attempted
+        )
+        assert report.coordination_time > 0
+        busiest = max(s.busy_time for s in report.per_shard)
+        assert report.simulated_time == pytest.approx(
+            busiest + report.coordination_time
+        )
+        assert report.remote_payments > 0
+        snapshot = report.as_dict()
+        assert snapshot["shards"] == 2
+        assert len(snapshot["per_shard"]) == 2
+        assert snapshot["cross_shard"]["attempted"] > 0
