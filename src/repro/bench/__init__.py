@@ -11,8 +11,10 @@ paths deliver. See ``python -m repro.experiments bench``.
 from repro.bench.harness import (
     SIM_SECTIONS,
     BenchResult,
+    ClusterRun,
     HotPath,
     WorkloadRun,
+    deterministic_snapshot,
     diff_sections,
     micro_benchmarks,
     run_bench,
@@ -24,9 +26,11 @@ from repro.bench.roofline import render_roofline, run_roofline
 __all__ = [
     "SIM_SECTIONS",
     "BenchResult",
+    "ClusterRun",
     "HotPath",
     "MicroPoint",
     "WorkloadRun",
+    "deterministic_snapshot",
     "diff_sections",
     "fit_saturation",
     "micro_benchmarks",

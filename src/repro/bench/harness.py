@@ -38,9 +38,11 @@ __all__ = [
     "SIM_SECTIONS",
     "HotPath",
     "WorkloadRun",
+    "ClusterRun",
     "BenchResult",
     "simulated_sections",
     "diff_sections",
+    "deterministic_snapshot",
     "micro_benchmarks",
     "run_bench",
 ]
@@ -51,6 +53,15 @@ SIM_SECTIONS = ("simulated", "counters", "spans", "tracks", "critical_path_ns")
 
 #: Workloads whose wall-clock speedup is gated (scan-heavy).
 SCAN_WORKLOADS = ("ch",)
+
+#: Workloads whose wall-clock speedup is gated by ``min_oltp_speedup``
+#: (transaction-only; exercises the batched TxnContext/commit paths).
+OLTP_WORKLOADS = ("oltp",)
+
+#: Profile workload each bench workload name maps to. ``oltp`` is the
+#: bench-level name for the transaction-only profile (``tpcc``), gated
+#: separately from the scan workloads.
+PROFILE_WORKLOADS = {"oltp": "tpcc", "tpcc": "tpcc", "ch": "ch", "mixed": "mixed"}
 
 #: Schema version of the BENCH comparison snapshot.
 BENCH_COMPARE_VERSION = 1
@@ -260,6 +271,36 @@ class WorkloadRun:
 
 
 @dataclass
+class ClusterRun:
+    """The sharded cluster executed sequentially and in parallel.
+
+    Three runs of the identical workload: naive ``jobs=1``, vectorized
+    ``jobs=1``, and vectorized ``jobs=N``. ``mode_drift`` is the exact
+    recursive diff of the first two reports (host-execution-mode
+    equivalence), ``jobs_drift`` of the last two (parallel-merge
+    determinism); both must be empty.
+    """
+
+    shards: int
+    jobs: int
+    report: Dict[str, object]
+    mode_drift: List[str]
+    jobs_drift: List[str]
+    naive_s: float
+    sequential_s: float
+    parallel_s: float
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Sequential over parallel wall-clock (vectorized both sides)."""
+        return (
+            self.sequential_s / self.parallel_s
+            if self.parallel_s
+            else float("inf")
+        )
+
+
+@dataclass
 class BenchResult:
     """Everything one bench run produced, plus pass/fail state."""
 
@@ -270,12 +311,23 @@ class BenchResult:
     baseline_compared: bool
     baseline_drift: List[str]
     min_speedup: float
+    min_oltp_speedup: float = 0.0
+    min_parallel_speedup: float = 0.0
+    cluster: Optional[ClusterRun] = None
     snapshot: Dict[str, object] = field(default_factory=dict)
 
     @property
     def simulated_identical(self) -> bool:
-        """Naive and vectorized agree on every simulated metric."""
-        return not any(run.mode_drift for run in self.runs)
+        """Every execution mode agrees on every simulated metric:
+        naive vs. vectorized per workload, and ``jobs=1`` vs. ``jobs=N``
+        on the cluster workload."""
+        if any(run.mode_drift for run in self.runs):
+            return False
+        if self.cluster is not None and (
+            self.cluster.mode_drift or self.cluster.jobs_drift
+        ):
+            return False
+        return True
 
     @property
     def speedup_ok(self) -> bool:
@@ -287,12 +339,91 @@ class BenchResult:
         )
 
     @property
+    def oltp_speedup_ok(self) -> bool:
+        """The OLTP workload meets its naive/vectorized wall-clock bar."""
+        return all(
+            run.speedup >= self.min_oltp_speedup
+            for run in self.runs
+            if run.workload in OLTP_WORKLOADS
+        )
+
+    @property
+    def parallel_speedup_ok(self) -> bool:
+        """The cluster workload meets its jobs=1/jobs=N wall-clock bar."""
+        if self.cluster is None:
+            return True
+        return self.cluster.parallel_speedup >= self.min_parallel_speedup
+
+    @property
     def passed(self) -> bool:
         return (
             self.simulated_identical
             and not self.baseline_drift
             and self.speedup_ok
+            and self.oltp_speedup_ok
+            and self.parallel_speedup_ok
         )
+
+
+def _run_cluster_compare(
+    shards: int,
+    jobs: int,
+    intervals: int,
+    txns_per_query: int,
+    scale: float,
+    seed: int,
+    defrag_period: int,
+) -> ClusterRun:
+    """Run the sharded cluster workload three ways and diff the reports.
+
+    Same build and workload idiom as the ``cluster`` experiment (fixed
+    row counts, homogeneous tenant streams); wall-clock covers the
+    workload run only, not the cluster build.
+    """
+    from repro.cluster import ClusterWorkload, PushTapCluster, cluster_row_counts
+
+    counts = cluster_row_counts(scale, shards)
+
+    def run_once(vectorized: bool, run_jobs: int) -> Tuple[Dict[str, object], float]:
+        perf.set_vectorized(vectorized)
+        cluster = PushTapCluster.build(
+            shards=shards,
+            counts=counts,
+            seed=seed,
+            defrag_period=defrag_period,
+            block_rows=256,
+            extra_rows=12 * intervals * txns_per_query,
+        )
+        workload = ClusterWorkload(
+            cluster,
+            txns_per_query=txns_per_query,
+            seed=seed,
+            remote_fraction=1.0,
+            tenants=shards,
+            homogeneous_tenants=True,
+            warehouse_groups=shards,
+        )
+        t0 = time.perf_counter()
+        report = workload.run(intervals, jobs=run_jobs)
+        wall = time.perf_counter() - t0
+        return report.as_dict(), wall
+
+    try:
+        naive_report, naive_s = run_once(False, 1)
+        seq_report, sequential_s = run_once(True, 1)
+        par_report, parallel_s = run_once(True, jobs)
+    finally:
+        perf.set_vectorized(True)
+    return ClusterRun(
+        shards=shards,
+        jobs=jobs,
+        report=seq_report,
+        mode_drift=diff_sections(naive_report, seq_report),
+        jobs_drift=diff_sections(seq_report, par_report),
+        naive_s=naive_s,
+        sequential_s=sequential_s,
+        parallel_s=parallel_s,
+    )
 
 
 def run_bench(
@@ -306,6 +437,10 @@ def run_bench(
     defrag_period: int = 200,
     queries: Sequence[str] = ("Q1", "Q6", "Q9"),
     min_speedup: float = 2.0,
+    min_oltp_speedup: float = 0.0,
+    min_parallel_speedup: float = 0.0,
+    jobs: int = 4,
+    cluster_shards: int = 4,
     micro: bool = True,
 ) -> BenchResult:
     """Run the bench harness; returns results + the snapshot to write.
@@ -315,9 +450,20 @@ def run_bench(
     other parameters (e.g. a tiny CI smoke) skips the baseline diff and
     records why, but the naive-vs-vectorized equivalence gate always
     applies.
+
+    Beyond the profile workloads, ``workloads`` may name ``oltp`` (the
+    transaction-only profile, gated by ``min_oltp_speedup``) and
+    ``cluster`` (the sharded workload run at ``jobs=1`` and ``jobs=N``,
+    whose reports must be identical and whose parallel wall-clock ratio
+    is gated by ``min_parallel_speedup``). Both speedup gates default to
+    0 — wall-clock on shared CI hosts (often single-core) is evidence,
+    not simulated truth; the identity gates always apply.
     """
     if not workloads:
         raise ConfigError("bench needs at least one workload")
+    unknown = [w for w in workloads if w not in PROFILE_WORKLOADS and w != "cluster"]
+    if unknown:
+        raise ConfigError(f"unknown bench workloads {unknown}")
     params = {
         "intervals": intervals,
         "txns_per_query": txns_per_query,
@@ -328,11 +474,24 @@ def run_bench(
     }
 
     runs: List[WorkloadRun] = []
+    cluster_run: Optional[ClusterRun] = None
     for workload in workloads:
+        if workload == "cluster":
+            cluster_run = _run_cluster_compare(
+                shards=cluster_shards,
+                jobs=jobs,
+                intervals=intervals,
+                txns_per_query=txns_per_query,
+                scale=scale,
+                seed=seed,
+                defrag_period=defrag_period,
+            )
+            continue
+        profile_workload = PROFILE_WORKLOADS[workload]
         with perf.naive_mode():
-            naive = run_profile(workload=workload, tag=tag, **params)
+            naive = run_profile(workload=profile_workload, tag=tag, **params)
         perf.set_vectorized(True)
-        vectorized = run_profile(workload=workload, tag=tag, **params)
+        vectorized = run_profile(workload=profile_workload, tag=tag, **params)
         drift = diff_sections(
             simulated_sections(naive.bench), simulated_sections(vectorized.bench)
         )
@@ -373,6 +532,9 @@ def run_bench(
         baseline_compared=baseline_compared,
         baseline_drift=baseline_drift,
         min_speedup=min_speedup,
+        min_oltp_speedup=min_oltp_speedup,
+        min_parallel_speedup=min_parallel_speedup,
+        cluster=cluster_run,
     )
     result.snapshot = _snapshot(result, params, baseline_path, tag)
     return result
@@ -414,16 +576,79 @@ def _snapshot(
             }
             for run in result.runs
         },
+        "cluster": (
+            None
+            if result.cluster is None
+            else {
+                "shards": result.cluster.shards,
+                "jobs": result.cluster.jobs,
+                "report": result.cluster.report,
+                "mode_drift": result.cluster.mode_drift,
+                "jobs_drift": result.cluster.jobs_drift,
+                "wall_clock": {
+                    "naive_jobs1_s": round(result.cluster.naive_s, 6),
+                    "jobs1_s": round(result.cluster.sequential_s, 6),
+                    f"jobs{result.cluster.jobs}_s": round(
+                        result.cluster.parallel_s, 6
+                    ),
+                },
+                "parallel_speedup": round(result.cluster.parallel_speedup, 2),
+            }
+        ),
         "hot_paths": {p.name: p.as_dict() for p in result.hot_paths},
         "gates": {
             "min_speedup": result.min_speedup,
+            "min_oltp_speedup": result.min_oltp_speedup,
+            "min_parallel_speedup": result.min_parallel_speedup,
             "scan_workloads": list(SCAN_WORKLOADS),
+            "oltp_workloads": list(OLTP_WORKLOADS),
             "simulated_identical": result.simulated_identical,
             "baseline_drift_free": not result.baseline_drift,
             "speedup_ok": result.speedup_ok,
+            "oltp_speedup_ok": result.oltp_speedup_ok,
+            "parallel_speedup_ok": result.parallel_speedup_ok,
             "passed": result.passed,
         },
     }
+
+
+#: Snapshot keys that record host wall-clock (or derive from it) and so
+#: cannot be byte-stable across hosts. Everything else in a bench
+#: snapshot is simulated truth and must regenerate identically.
+_HOST_KEYS = (
+    "wall_clock",
+    "wall_clock_s",
+    "peak_rss_bytes",
+    "speedup",
+    "parallel_speedup",
+    "hot_paths",
+)
+
+
+def deterministic_snapshot(snapshot: Dict[str, object]) -> Dict[str, object]:
+    """The host-independent subset of a bench comparison snapshot.
+
+    Strips wall-clock timings, RSS, speedups, and the per-host hot-path
+    table, plus the speedup gate outcomes that depend on them — what
+    remains (simulated sections, drift lists, identity gates) must be
+    byte-identical when the snapshot is regenerated with the same
+    parameters on any host. CI regenerates ``BENCH_10.json`` and
+    byte-compares this subset.
+    """
+
+    def strip(value):
+        if isinstance(value, dict):
+            return {k: strip(v) for k, v in value.items() if k not in _HOST_KEYS}
+        if isinstance(value, list):
+            return [strip(v) for v in value]
+        return value
+
+    out = strip(snapshot)
+    gates = out.get("gates")
+    if isinstance(gates, dict):
+        for key in ("speedup_ok", "oltp_speedup_ok", "parallel_speedup_ok", "passed"):
+            gates.pop(key, None)
+    return out
 
 
 def span_before_after(

@@ -56,10 +56,21 @@ class PushTapCluster:
         engines,
         counts: Dict[str, int],
         interconnect_ns: float = 500.0,
+        jobs: int = 1,
     ) -> None:
         if not engines:
             raise ConfigError("a cluster needs at least one shard engine")
+        if int(jobs) < 1:
+            raise ConfigError("jobs must be >= 1")
         self.engines = list(engines)
+        #: Default worker count for workloads over this cluster; > 1
+        #: runs shard sub-streams on a process pool (see repro.parallel).
+        self.jobs = int(jobs)
+        #: PushTapEngine.build kwargs captured by :meth:`build` so
+        #: spawned parallel workers can rebuild their shard engine
+        #: bit-identically (None when the cluster was assembled from
+        #: pre-built engines).
+        self._shard_build_kwargs: Optional[Dict[str, object]] = None
         self.num_shards = len(self.engines)
         #: The *global* row counts the shards were filtered from — the
         #: workload layer builds its drivers over these, not over any
@@ -83,6 +94,7 @@ class PushTapCluster:
         scale: float = 1e-4,
         counts: Optional[Dict[str, int]] = None,
         interconnect_ns: float = 500.0,
+        jobs: int = 1,
         **build_kwargs,
     ) -> "PushTapCluster":
         """Build an N-shard cluster over one global generator stream.
@@ -101,7 +113,9 @@ class PushTapCluster:
             build_shard(shard, shards, counts, **build_kwargs)
             for shard in range(shards)
         ]
-        return cls(engines, counts, interconnect_ns=interconnect_ns)
+        cluster = cls(engines, counts, interconnect_ns=interconnect_ns, jobs=jobs)
+        cluster._shard_build_kwargs = dict(build_kwargs)
+        return cluster
 
     # ------------------------------------------------------------------
     # OLTP path

@@ -235,12 +235,26 @@ class ClusterWorkload:
         invariant_checkers: Sequence = (),
         homogeneous_tenants: bool = False,
         warehouse_groups: Optional[int] = None,
+        jobs: Optional[int] = None,
+        worker_final_check: bool = False,
     ) -> None:
         if txns_per_query < 0:
             raise ConfigError("txns_per_query must be non-negative")
         if not queries:
             raise ConfigError("at least one analytical query is required")
         self.cluster = cluster
+        #: Worker count for :meth:`run` (defaults to the cluster's);
+        #: > 1 executes shard sub-streams on a process pool with a
+        #: deterministic merge (see :mod:`repro.parallel`).
+        self.jobs = int(cluster.jobs if jobs is None else jobs)
+        if self.jobs < 1:
+            raise ConfigError("jobs must be >= 1")
+        #: Under ``jobs > 1``, run one extra invariant check per shard
+        #: after the stream ends, inside the worker that owns the data
+        #: (the fault sweep's post-run audit).
+        self.worker_final_check = bool(worker_final_check)
+        #: Per-shard worker checker summaries of the last parallel run.
+        self.worker_invariants: List[Dict[str, object]] = []
         self.txns_per_query = txns_per_query
         self.queries = list(queries)
         self.tenants = cluster.num_shards if tenants is None else int(tenants)
@@ -323,9 +337,19 @@ class ClusterWorkload:
             for checker in self.invariant_checkers:
                 checker.check()
 
-    def run(self, num_queries: int) -> ClusterReport:
-        """Run ``num_queries`` query intervals; returns the report."""
+    def run(self, num_queries: int, jobs: Optional[int] = None) -> ClusterReport:
+        """Run ``num_queries`` query intervals; returns the report.
+
+        With ``jobs > 1`` (argument, constructor, or cluster default)
+        the shard sub-streams execute on a process pool and are merged
+        back in sequential order — the report, histograms, outcome
+        logs, and telemetry export are byte-identical to ``jobs=1``
+        (see :mod:`repro.parallel` for the preconditions enforced).
+        """
         cluster = self.cluster
+        jobs = self.jobs if jobs is None else int(jobs)
+        if jobs < 1:
+            raise ConfigError("jobs must be >= 1")
         report = ClusterReport(
             num_shards=cluster.num_shards,
             tenants=self.tenants,
@@ -356,37 +380,46 @@ class ClusterWorkload:
         twopc_before = (twopc.attempted, twopc.committed, twopc.aborted)
         causes_before = dict(twopc.aborts_by_cause)
         coordination_before = cluster.coordination_time
-        for interval in range(num_queries):
-            t0 = tel.sim_time if tel.enabled else 0.0
-            for _ in range(self.txns_per_query):
-                tenant = self._txn_cursor % self.tenants
-                self._txn_cursor += 1
-                driver = self.drivers[tenant]
-                txn = driver.next_transaction()
-                result = cluster.execute_transaction(txn)
-                report.transactions += 1
-                if not result.committed:
-                    report.aborted += 1
-                    driver.note_abort(txn)
-                report.observe_txn(result.latency)
-                home = report.per_shard[result.home]
-                home.oltp_latency.observe(result.latency)
-                if result.latency > self.slo_targets.oltp_ns:
-                    home.slo_violations += 1
-                self._maybe_check()
-            name = self.queries[self._query_cursor % len(self.queries)]
-            self._query_cursor += 1
-            query = cluster.query(name)
-            report.queries += 1
-            report.observe_query(name, query.total_time)
-            self._maybe_check(force=True)
-            if tel.enabled:
-                tel.record_span(
-                    "workload.interval",
-                    tel.sim_time - t0,
-                    {"interval": interval, "query": name},
-                    start=t0,
-                )
+        if jobs > 1:
+            # Parallel shard execution with a deterministic merge. The
+            # merge fills the report's interval-loop accounting and the
+            # coordinator-side cluster/2PC/telemetry state; the shared
+            # delta bookkeeping below then applies to both paths.
+            from repro.parallel import run_parallel_cluster_workload
+
+            run_parallel_cluster_workload(self, num_queries, jobs, report)
+        else:
+            for interval in range(num_queries):
+                t0 = tel.sim_time if tel.enabled else 0.0
+                for _ in range(self.txns_per_query):
+                    tenant = self._txn_cursor % self.tenants
+                    self._txn_cursor += 1
+                    driver = self.drivers[tenant]
+                    txn = driver.next_transaction()
+                    result = cluster.execute_transaction(txn)
+                    report.transactions += 1
+                    if not result.committed:
+                        report.aborted += 1
+                        driver.note_abort(txn)
+                    report.observe_txn(result.latency)
+                    home = report.per_shard[result.home]
+                    home.oltp_latency.observe(result.latency)
+                    if result.latency > self.slo_targets.oltp_ns:
+                        home.slo_violations += 1
+                    self._maybe_check()
+                name = self.queries[self._query_cursor % len(self.queries)]
+                self._query_cursor += 1
+                query = cluster.query(name)
+                report.queries += 1
+                report.observe_query(name, query.total_time)
+                self._maybe_check(force=True)
+                if tel.enabled:
+                    tel.record_span(
+                        "workload.interval",
+                        tel.sim_time - t0,
+                        {"interval": interval, "query": name},
+                        start=t0,
+                    )
         for shard, engine in enumerate(cluster.engines):
             txns0, runs0, oltp0, olap0, defrag0 = stats_before[shard]
             entry = report.per_shard[shard]

@@ -662,12 +662,8 @@ class PushTapEngine:
             # the PIM-side time; the remainder of the query's total is CPU
             # glue (harvest, merges, bucket exchange), recorded as its own
             # serial span so the wrapper's window covers the whole query.
-            cpu_gap = result.total_time - (tel.sim_time - t0)
-            if cpu_gap > 1e-9:
-                tel.record_span("olap.cpu", cpu_gap, {"query": name})
-            tel.record_span(
-                "olap.query", tel.sim_time - t0, {"query": name}, start=t0
-            )
+            tel.record_gap_span("olap.cpu", result.total_time, t0, {"query": name})
+            tel.record_window_span("olap.query", t0, {"query": name})
         return result
 
     def enable_ivm(self, queries: Sequence[str] = ("Q1", "Q6", "Q9")) -> "IVMManager":

@@ -143,6 +143,14 @@ class TableStorage:
         self.delta_bitmap_addr = allocator.alloc_block(
             max(1, ceil_div(delta_capacity_rows, 8)), align=self._bitmap_align()
         )
+        # Per-column read plans for the OLTP partial-read hot path: the
+        # (column, cached sorted runs) pair is immutable once the layout
+        # validates, so resolve each name's schema/run lookups once and
+        # reuse them on every row (populated lazily, hits only).
+        self._read_plans: Dict[str, tuple] = {}
+        # Schema columns in declaration order, for write_columns' encode
+        # pass (iterating the schema object per update re-resolves it).
+        self._schema_columns = tuple(layout.schema)
 
     def _bitmap_align(self) -> int:
         # Blocks are block_rows bits = block_rows/8 bytes; aligning the
@@ -226,14 +234,21 @@ class TableStorage:
 
     def _read_columns(self, ref: RowRef, columns: Sequence[str]) -> Dict[str, Value]:
         """Read and decode just ``columns`` of the row at ``ref``."""
-        layout = self.layout
-        schema = layout.schema
+        plans = self._read_plans
         num_devices = self.rank.num_devices
         rotation = self.rotation_of(ref.region, ref.index)
         out: Dict[str, Value] = {}
         for name in columns:
-            col = schema.column(name)
-            runs = layout.column_runs(name)
+            plan = plans.get(name)
+            if plan is None:
+                # First touch of this column: resolve (and validate) its
+                # schema entry and cached sorted runs once. Unknown
+                # columns raise here, identically to the uncached path.
+                plan = plans[name] = (
+                    self.layout.schema.column(name),
+                    self.layout.column_runs(name),
+                )
+            col, runs = plan
             if len(runs) == 1:
                 # Common case: the column is one contiguous run (all key
                 # columns and most normal columns) — a single device read.
@@ -270,7 +285,7 @@ class TableStorage:
         """
         encoded = {
             col.name: col.encode(values[col.name])
-            for col in self.layout.schema
+            for col in self._schema_columns
             if col.name in values
         }
         num_devices = self.rank.num_devices

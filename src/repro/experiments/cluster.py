@@ -43,6 +43,7 @@ def _run_cell(
     seed: int,
     interconnect_ns: float,
     defrag_period: int,
+    jobs: int = 1,
 ) -> Dict[str, object]:
     cluster = PushTapCluster.build(
         shards=shards,
@@ -67,6 +68,9 @@ def _run_cell(
         # partitioning overhead from client-mix variance.
         homogeneous_tenants=True,
         warehouse_groups=tenants,
+        # Parallel shard execution is merge-deterministic (byte-identical
+        # to jobs=1), so the snapshot stays reproducible at any job count.
+        jobs=min(jobs, shards),
     ).run(intervals)
     return report.as_dict()
 
@@ -81,6 +85,7 @@ def run_cluster_bench(
     interconnect_ns: float = 500.0,
     defrag_period: int = 200,
     tag: str = "9",
+    jobs: int = 1,
 ) -> Dict[str, object]:
     """Run the scaling and overhead sweeps; returns the snapshot dict.
 
@@ -112,6 +117,7 @@ def run_cluster_bench(
             seed,
             interconnect_ns,
             defrag_period,
+            jobs,
         )
         scaling.append(cell)
     base_tpmc = scaling[0]["oltp_tpmc"]
@@ -136,6 +142,7 @@ def run_cluster_bench(
             seed,
             interconnect_ns,
             defrag_period,
+            jobs,
         )
         cell["coordination_share"] = (
             cell["coordination_time_ns"] / cell["simulated_time_ns"]

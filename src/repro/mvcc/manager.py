@@ -141,6 +141,47 @@ class MVCCManager:
         entry.observe_read(ts)
         return entry.location
 
+    def fast_row_mask(self, row_ids) -> np.ndarray:
+        """Classify a batch: which rows resolve without any per-row work.
+
+        A ``True`` entry marks an in-range, never-versioned, live row —
+        its visible version at *any* timestamp is its data-region origin
+        (``RowRef(DATA, row_id)``), with no tombstone check, no chain
+        walk, and no read observation. One vectorized pass over the
+        packed index answers this for the whole batch; callers send the
+        ``False`` rows through :meth:`read` for the full treatment.
+        Pure: no side effects, safe to call speculatively.
+        """
+        ids = np.asarray(row_ids, dtype=np.int64)
+        if ids.size == 0:
+            return np.zeros(0, dtype=bool)
+        fast = (ids >= 0) & (ids < self.num_rows)
+        sel = ids[fast]
+        ok = (
+            (self._chain_len[sel] == 0)
+            & (self._tomb_ts[sel] < 0)
+            & ~self._dead[sel]
+        )
+        fast[np.nonzero(fast)[0][~ok]] = False
+        return fast
+
+    def read_many(self, row_ids, ts: int) -> List[RowRef]:
+        """Locate the versions of a batch of rows visible at ``ts``.
+
+        Identical outcomes and side effects to calling :meth:`read` once
+        per row in order: the packed index resolves never-versioned live
+        rows in one array pass, and only chained / tombstoned / dead /
+        out-of-range rows fall back to the per-row path — errors surface
+        at the same row, with the same message, as the sequential loop.
+        """
+        if not perf.vectorized():
+            return [self.read(row_id, ts) for row_id in row_ids]
+        fast = self.fast_row_mask(row_ids)
+        return [
+            RowRef(Region.DATA, int(row_id)) if fast[i] else self.read(int(row_id), ts)
+            for i, row_id in enumerate(row_ids)
+        ]
+
     def newest_ref(self, row_id: int) -> RowRef:
         """Location of the newest version (ignores visibility)."""
         self._check_row(row_id)

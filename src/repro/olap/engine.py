@@ -250,12 +250,7 @@ class OLAPEngine:
             tel.histogram(f"olap.operator.{operator}.ceiling_ratio").observe(
                 metrics.ceiling_ratio
             )
-        tel.record_span(
-            f"olap.operator.{operator}",
-            tel.sim_time - start,
-            attrs,
-            start=start,
-        )
+        tel.record_window_span(f"olap.operator.{operator}", start, attrs)
 
     # ------------------------------------------------------------------
     # Snapshot

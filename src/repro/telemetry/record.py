@@ -1,0 +1,273 @@
+"""Segment-recording registry for parallel shard workers.
+
+A :class:`RecordingRegistry` is a full :class:`MetricsRegistry` that
+additionally journals every metric mutation into per-segment event
+lists. A shard worker installs one, executes its operation sub-stream,
+and ships the segments back to the coordinator; the coordinator's
+:class:`SegmentReplayer` re-applies them onto the *sequential* registry
+in the sequential interleaving order, so a ``jobs=N`` run exports
+telemetry byte-identical to ``jobs=1``.
+
+Two subtleties make naive "replay the recorded spans" wrong:
+
+* **Explicit span starts are cursor values.** A worker's cursor runs on
+  its own trajectory (only its shard's events), so recorded start
+  timestamps are meaningless on the coordinator's timeline. The
+  recorder therefore resolves every explicit ``start`` against the
+  *boundary log* — the sequence of cursor positions produced by
+  serial (no-``start``) spans — and journals the boundary *index*; the
+  replayer maps the index back to its own boundary at the same ordinal.
+
+* **Cursor-derived durations must be recomputed, not replayed.**
+  ``record_window_span`` / ``record_gap_span`` durations are float
+  differences of cursor positions; summing the same durations from a
+  different origin can round differently in the last ULP. The recorder
+  journals the *inputs* (boundary index, total) and the replayer redoes
+  the arithmetic on the sequential cursor — exactly what a ``jobs=1``
+  run computes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ParallelExecutionError
+from repro.telemetry.metrics import Counter, Gauge, Histogram, SpanEvent
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = ["RecordingRegistry", "SegmentReplayer", "Segment"]
+
+#: One journaled segment: a flat list of metric-mutation events.
+Segment = List[tuple]
+
+
+class _RecordingCounter:
+    """Counter wrapper journaling every increment."""
+
+    __slots__ = ("_metric", "_registry")
+
+    def __init__(self, metric: Counter, registry: "RecordingRegistry") -> None:
+        self._metric = metric
+        self._registry = registry
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._metric.inc(amount)
+        self._registry._log.append(("c", self._metric.name, amount))
+
+    def __getattr__(self, name):
+        return getattr(self._metric, name)
+
+
+class _RecordingGauge:
+    """Gauge wrapper journaling every mutation."""
+
+    __slots__ = ("_metric", "_registry")
+
+    def __init__(self, metric: Gauge, registry: "RecordingRegistry") -> None:
+        self._metric = metric
+        self._registry = registry
+
+    def set(self, value: float) -> None:
+        self._metric.set(value)
+        self._registry._log.append(("g", self._metric.name, value))
+
+    def add(self, delta: float) -> None:
+        self._metric.add(delta)
+        self._registry._log.append(("ga", self._metric.name, delta))
+
+    def __getattr__(self, name):
+        return getattr(self._metric, name)
+
+
+class _RecordingHistogram:
+    """Histogram wrapper journaling every observation."""
+
+    __slots__ = ("_metric", "_registry")
+
+    def __init__(self, metric: Histogram, registry: "RecordingRegistry") -> None:
+        self._metric = metric
+        self._registry = registry
+
+    def observe(self, value: float) -> None:
+        self._metric.observe(value)
+        self._registry._log.append(("h", self._metric.name, value))
+
+    def __getattr__(self, name):
+        return getattr(self._metric, name)
+
+
+class RecordingRegistry(MetricsRegistry):
+    """A metrics registry that journals mutations into segments.
+
+    The worker still accumulates real metrics (so worker-side code that
+    *reads* telemetry — e.g. ``sim_time`` windows — behaves exactly as
+    in a sequential run); the journal is what travels to the
+    coordinator.
+    """
+
+    def __init__(self, max_histogram_samples: Optional[int] = None) -> None:
+        super().__init__(max_histogram_samples)
+        self._log: Segment = []
+        self._wrappers: Dict[Tuple[str, str], object] = {}
+        # Boundary log of the current segment: cursor value -> ordinal.
+        self._boundaries: Dict[float, int] = {self._sim_cursor: 0}
+        self._boundary_count = 1
+
+    # ------------------------------------------------------------------
+    # Segments
+    # ------------------------------------------------------------------
+    def begin_segment(self) -> None:
+        """Start journaling a fresh segment at the current cursor."""
+        self._log = []
+        self._boundaries = {self._sim_cursor: 0}
+        self._boundary_count = 1
+
+    def end_segment(self) -> Segment:
+        """Detach and return the events journaled since ``begin_segment``."""
+        log = self._log
+        self._log = []
+        return log
+
+    # ------------------------------------------------------------------
+    # Metric access
+    # ------------------------------------------------------------------
+    def counter(self, name: str):
+        metric = super().counter(name)
+        key = ("c", metric.name)
+        wrapper = self._wrappers.get(key)
+        if wrapper is None:
+            wrapper = self._wrappers[key] = _RecordingCounter(metric, self)
+        return wrapper
+
+    def gauge(self, name: str):
+        metric = super().gauge(name)
+        key = ("g", metric.name)
+        wrapper = self._wrappers.get(key)
+        if wrapper is None:
+            wrapper = self._wrappers[key] = _RecordingGauge(metric, self)
+        return wrapper
+
+    def histogram(self, name: str):
+        metric = super().histogram(name)
+        key = ("h", metric.name)
+        wrapper = self._wrappers.get(key)
+        if wrapper is None:
+            wrapper = self._wrappers[key] = _RecordingHistogram(metric, self)
+        return wrapper
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def _mark_boundary(self) -> None:
+        self._boundaries[self._sim_cursor] = self._boundary_count
+        self._boundary_count += 1
+
+    def _boundary_ref(self, start: float, name: str) -> int:
+        ref = self._boundaries.get(start)
+        if ref is None:
+            raise ParallelExecutionError(
+                f"span {name!r}: explicit start {start} does not match a "
+                "segment boundary; this span pattern cannot be replayed "
+                "deterministically under jobs > 1"
+            )
+        return ref
+
+    def record_span(
+        self,
+        name: str,
+        duration: float,
+        attrs: Optional[Mapping[str, object]] = None,
+        start: Optional[float] = None,
+    ) -> SpanEvent:
+        if start is None:
+            span = super().record_span(name, duration, attrs)
+            self._mark_boundary()
+            self._log.append(("s", span.name, duration, span.attrs, None))
+            return span
+        ref = self._boundary_ref(start, name)
+        span = super().record_span(name, duration, attrs, start=start)
+        self._log.append(("s", span.name, duration, span.attrs, ref))
+        return span
+
+    def record_window_span(
+        self,
+        name: str,
+        base: float,
+        attrs: Optional[Mapping[str, object]] = None,
+    ) -> SpanEvent:
+        ref = self._boundary_ref(base, name)
+        span = MetricsRegistry.record_span(
+            self, name, self._sim_cursor - base, attrs, start=base
+        )
+        self._log.append(("w", span.name, span.attrs, ref))
+        return span
+
+    def record_gap_span(
+        self,
+        name: str,
+        total: float,
+        base: float,
+        attrs: Optional[Mapping[str, object]] = None,
+    ) -> Optional[SpanEvent]:
+        ref = self._boundary_ref(base, name)
+        gap = total - (self._sim_cursor - base)
+        span = None
+        if gap > 1e-9:
+            span = MetricsRegistry.record_span(self, name, gap, attrs)
+            self._mark_boundary()
+        self._log.append(
+            (
+                "gap",
+                self._full(name),
+                total,
+                tuple(sorted(attrs.items())) if attrs else (),
+                ref,
+            )
+        )
+        return span
+
+    def advance_to(self, ts: float) -> None:
+        raise ParallelExecutionError(
+            "advance_to is not replayable; this code path cannot run "
+            "inside a parallel shard worker"
+        )
+
+
+class SegmentReplayer:
+    """Re-applies journaled segments onto the sequential registry."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+
+    def replay(self, segment: Segment) -> None:
+        """Apply one segment's events at the current cursor position."""
+        tel = self.registry
+        boundaries: List[float] = [tel.sim_time]
+        for event in segment:
+            kind = event[0]
+            if kind == "c":
+                tel.counter(event[1]).inc(event[2])
+            elif kind == "h":
+                tel.histogram(event[1]).observe(event[2])
+            elif kind == "g":
+                tel.gauge(event[1]).set(event[2])
+            elif kind == "ga":
+                tel.gauge(event[1]).add(event[2])
+            elif kind == "s":
+                _, name, duration, attrs, ref = event
+                if ref is None:
+                    tel.record_span(name, duration, dict(attrs))
+                    boundaries.append(tel.sim_time)
+                else:
+                    tel.record_span(
+                        name, duration, dict(attrs), start=boundaries[ref]
+                    )
+            elif kind == "w":
+                _, name, attrs, ref = event
+                tel.record_window_span(name, boundaries[ref], dict(attrs))
+            elif kind == "gap":
+                _, name, total, attrs, ref = event
+                if tel.record_gap_span(name, total, boundaries[ref], dict(attrs)):
+                    boundaries.append(tel.sim_time)
+            else:  # pragma: no cover - journal corruption
+                raise ParallelExecutionError(f"unknown journal event {event!r}")

@@ -140,6 +140,39 @@ class MetricsRegistry:
         self.spans.append(span)
         return span
 
+    def record_window_span(
+        self,
+        name: str,
+        base: float,
+        attrs: Optional[Mapping[str, object]] = None,
+    ) -> SpanEvent:
+        """Record a wrapper span covering the cursor advance since ``base``.
+
+        ``base`` must be an earlier value of :attr:`sim_time`. Keeping
+        the ``sim_time - base`` arithmetic inside the registry lets a
+        replaying registry recompute the duration on its own cursor
+        trajectory instead of trusting a recorded float.
+        """
+        return self.record_span(name, self._sim_cursor - base, attrs, start=base)
+
+    def record_gap_span(
+        self,
+        name: str,
+        total: float,
+        base: float,
+        attrs: Optional[Mapping[str, object]] = None,
+    ) -> Optional[SpanEvent]:
+        """Record the gap between ``total`` and the advance since ``base``.
+
+        Used for host-side (CPU) time that a wrapped operation charged
+        beyond what its sub-spans laid out on the timeline. Gaps at or
+        below float noise are dropped.
+        """
+        gap = total - (self._sim_cursor - base)
+        if gap > 1e-9:
+            return self.record_span(name, gap, attrs)
+        return None
+
     @property
     def sim_time(self) -> float:
         """Current cursor of the serial simulated timeline (ns)."""
@@ -207,6 +240,14 @@ class NoopRegistry:
         return NULL_HISTOGRAM  # type: ignore[return-value]
 
     def record_span(self, name, duration, attrs=None, start=None) -> None:
+        """Discard the span."""
+        return None
+
+    def record_window_span(self, name, base, attrs=None) -> None:
+        """Discard the span."""
+        return None
+
+    def record_gap_span(self, name, total, base, attrs=None) -> None:
         """Discard the span."""
         return None
 

@@ -15,7 +15,7 @@ import pytest
 from repro import perf
 from repro.errors import TransactionError
 from repro.mvcc.manager import MVCCManager
-from repro.mvcc.metadata import Region
+from repro.mvcc.metadata import Region, RowRef
 from repro.pim.pim_unit import bytes_to_uints, uints_to_bytes
 
 
@@ -331,6 +331,205 @@ class TestStorageEquivalence:
         assert naive[0] == "err"
 
 
+@pytest.mark.parametrize("seed", range(4))
+class TestMVCCBatchedEquivalence:
+    """The batched visibility paths behind ``TxnContext.read_many``."""
+
+    def test_fast_row_mask_semantics(self, seed):
+        mvcc, last_ts = run_history(seed)
+        ids = list(range(-2, mvcc.num_rows + 3))
+        mask = mvcc.fast_row_mask(ids)
+        assert len(mask) == len(ids)
+        for row, fast in zip(ids, mask):
+            if not fast:
+                continue
+            # A fast row resolves to its data slot at *any* timestamp,
+            # with a single never-versioned entry and no tombstone.
+            assert 0 <= row < mvcc.num_rows
+            assert mvcc.chain_length(row) == 1
+            assert mvcc.newest_ref(row) == RowRef(Region.DATA, row)
+            for ts in (0, last_ts // 2, last_ts + 1):
+                ref = mvcc.read(row, ts)
+                assert ref.region == Region.DATA and ref.index == row
+
+    def test_read_many_matches_per_row(self, seed):
+        mvcc, last_ts = run_history(seed)
+        rng = random.Random(seed + 3000)
+        for ts in (0, last_ts // 2, last_ts, last_ts + 1):
+            ids = [rng.randrange(mvcc.num_rows) for _ in range(40)]
+            naive, vectorized = both_modes(lambda: mvcc.read_many(ids, ts))
+            assert naive == vectorized
+
+            def per_row():
+                return [mvcc.read(row, ts) for row in ids]
+
+            scalar_naive, scalar_vec = both_modes(per_row)
+            assert naive == scalar_naive == scalar_vec
+
+    def test_read_many_error_position(self, seed):
+        mvcc, last_ts = run_history(seed)
+        # A bad id mid-batch must fail exactly like the scalar loop —
+        # same exception type and message in both modes.
+        ids = [0, 1, mvcc.num_rows + 5, 2]
+        naive, vectorized = both_modes(lambda: mvcc.read_many(ids, last_ts))
+        scalar, _ = both_modes(lambda: [mvcc.read(r, last_ts) for r in ids])
+        assert naive == vectorized == scalar
+        assert naive[0] == "err"
+
+
+def run_txn(build_seed, txn):
+    """Execute one transaction on a fresh engine; returns comparable state."""
+    from repro.core.engine import PushTapEngine
+
+    engine = PushTapEngine.build(scale=2e-5, seed=build_seed)
+    result = engine.execute_transaction(txn)
+    runtime = engine.table("orderline")
+    return (
+        result.ts,
+        result.breakdown.as_dict(),
+        result.rows_read,
+        result.rows_written,
+        result.aborted,
+        result.value,
+        runtime.storage.rank.devices[0].data.copy(),
+    )
+
+
+class TestTxnBatchedEquivalence:
+    """``TxnContext.read_many``/``update_many`` vs. the scalar loops.
+
+    The batched calls must charge the identical cost-model breakdown,
+    touch the identical device bytes, and fail at the identical position
+    — in both host execution modes.
+    """
+
+    COLS = ["ol_i_id", "ol_quantity", "ol_amount"]
+
+    def _ids(self, seed, n=24):
+        rng = random.Random(seed)
+        return [rng.randrange(500) for _ in range(n)]
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_read_many_matches_scalar_reads(self, seed):
+        ids = self._ids(seed + 50)
+        for columns in (None, self.COLS):
+
+            def batched(ctx):
+                ctx.result = ctx.read_many("orderline", ids, columns)
+
+            def scalar(ctx):
+                ctx.result = [ctx.read("orderline", r, columns) for r in ids]
+
+            naive_b, vec_b = both_modes(lambda: run_txn(3, batched))
+            naive_s, vec_s = both_modes(lambda: run_txn(3, scalar))
+            assert naive_b[0] == "ok"
+            for got in (vec_b, naive_s, vec_s):
+                assert naive_b[1][:-1] == got[1][:-1]
+                np.testing.assert_array_equal(naive_b[1][-1], got[1][-1])
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_update_many_matches_scalar_updates(self, seed):
+        rng = random.Random(seed + 60)
+        updates = [
+            (rng.randrange(500), {"ol_quantity": rng.randrange(1, 100)})
+            for _ in range(24)
+        ]
+
+        def batched(ctx):
+            ctx.update_many("orderline", updates)
+
+        def scalar(ctx):
+            for row, changes in updates:
+                ctx.update("orderline", row, changes)
+
+        naive_b, vec_b = both_modes(lambda: run_txn(3, batched))
+        naive_s, vec_s = both_modes(lambda: run_txn(3, scalar))
+        assert naive_b[0] == "ok"
+        for got in (vec_b, naive_s, vec_s):
+            assert naive_b[1][:-1] == got[1][:-1]
+            np.testing.assert_array_equal(naive_b[1][-1], got[1][-1])
+
+    def test_batched_error_positions(self):
+        bad_reads = [0, 1, 10**6, 2]
+        bad_updates = [(0, {"ol_quantity": 1}), (10**6, {"ol_quantity": 2})]
+
+        def read_batched(ctx):
+            ctx.read_many("orderline", bad_reads)
+
+        def read_scalar(ctx):
+            for row in bad_reads:
+                ctx.read("orderline", row)
+
+        def update_batched(ctx):
+            ctx.update_many("orderline", bad_updates)
+
+        def update_scalar(ctx):
+            for row, changes in bad_updates:
+                ctx.update("orderline", row, changes)
+
+        for batched, scalar in (
+            (read_batched, read_scalar),
+            (update_batched, update_scalar),
+        ):
+            # The bad row raises out of the engine (TransactionError is
+            # a bug, not a business abort) with the identical exception
+            # type and message in every mode and shape.
+            naive_b, vec_b = both_modes(lambda: run_txn(3, batched))
+            naive_s, vec_s = both_modes(lambda: run_txn(3, scalar))
+            assert naive_b == vec_b == naive_s == vec_s
+            assert naive_b[0] == "err"
+
+
+def serve_state(arrival):
+    """One full serve run; returns (report, telemetry dump) as JSON."""
+    import json
+
+    from repro.core.engine import PushTapEngine
+    from repro.serve.loop import ServeConfig, ServeLoop
+    from repro.telemetry import registry as telemetry
+
+    telemetry.disable()
+    engine = PushTapEngine.build(scale=2e-5, seed=5)
+    tel = telemetry.enable()
+    try:
+        config = ServeConfig(
+            tenants=2,
+            requests_per_tenant=16,
+            policy="batched",
+            seed=9,
+            arrival=arrival,
+            olap_fraction=0.3,
+        )
+        result = ServeLoop(engine, config).run()
+        dump = {
+            "counters": {k: c.value for k, c in sorted(tel.counters.items())},
+            "histograms": {
+                k: (h.count, h.sum, list(h.samples))
+                for k, h in sorted(tel.histograms.items())
+            },
+            "spans": [(s.name, s.start, s.duration, s.attrs) for s in tel.spans],
+            "sim_time": tel.sim_time,
+        }
+        return json.dumps(
+            {"report": result.report, "telemetry": dump},
+            sort_keys=True,
+            default=str,
+        )
+    finally:
+        telemetry.disable()
+
+
+class TestServeBatchedEquivalence:
+    @pytest.mark.parametrize("arrival", ["open", "closed"])
+    def test_serve_run_identical(self, arrival):
+        """The vectorized batch-completion path (SLO bookkeeping, spans,
+        closed-loop think draws) reproduces the scalar run exactly —
+        full report plus every telemetry sample and span."""
+        naive, vectorized = both_modes(lambda: serve_state(arrival))
+        assert naive[0] == vectorized[0] == "ok"
+        assert naive[1] == vectorized[1]
+
+
 class TestWorkloadEquivalence:
     def test_tiny_mixed_profile_identical(self):
         from repro.bench.harness import diff_sections, simulated_sections
@@ -338,6 +537,23 @@ class TestWorkloadEquivalence:
 
         kwargs = dict(
             workload="mixed", intervals=2, txns_per_query=8, scale=2e-5, seed=17
+        )
+        with perf.naive_mode():
+            naive = run_profile(**kwargs)
+        vectorized = run_profile(**kwargs)
+        drift = diff_sections(
+            simulated_sections(naive.bench), simulated_sections(vectorized.bench)
+        )
+        assert drift == []
+
+    def test_tiny_tpcc_profile_identical(self):
+        """Transaction-only profile: covers the batched order-status
+        reads and the per-txn telemetry hoisting."""
+        from repro.bench.harness import diff_sections, simulated_sections
+        from repro.trace.profile import run_profile
+
+        kwargs = dict(
+            workload="tpcc", intervals=2, txns_per_query=10, scale=2e-5, seed=17
         )
         with perf.naive_mode():
             naive = run_profile(**kwargs)
